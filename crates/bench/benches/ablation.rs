@@ -1,0 +1,50 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! the stage-scheduling weight α, and the storage zone on/off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powermove::{CompilerConfig, PowerMoveCompiler};
+use powermove_benchmarks::{generate, BenchmarkFamily};
+use powermove_hardware::Architecture;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_alpha_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_alpha");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let instance = generate(BenchmarkFamily::QaoaRegular3, 40, 29);
+    let arch = Architecture::for_qubits(40);
+    for alpha in [0.0_f64, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alpha),
+            &instance,
+            |b, inst| {
+                let compiler =
+                    PowerMoveCompiler::new(CompilerConfig::default().with_alpha(alpha));
+                b.iter(|| black_box(compiler.compile(&inst.circuit, &arch).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_storage_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_storage");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let instance = generate(BenchmarkFamily::Bv, 50, 29);
+    let arch = Architecture::for_qubits(50);
+    for (label, config) in [
+        ("with_storage", CompilerConfig::default()),
+        ("non_storage", CompilerConfig::without_storage()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &instance, |b, inst| {
+            let compiler = PowerMoveCompiler::new(config);
+            b.iter(|| black_box(compiler.compile(&inst.circuit, &arch).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha_ablation, bench_storage_ablation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Compilation-time benchmark: PowerMove versus the Enola baseline
+//! (the `T_comp` columns of Table 3).
+//!
+//! PowerMove's near-linear heuristics should compile one to two orders of
+//! magnitude faster than the MIS-solver-based baseline on the same circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enola_baseline::EnolaCompiler;
+use powermove::{CompilerConfig, PowerMoveCompiler};
+use powermove_benchmarks::{generate, BenchmarkFamily};
+use powermove_hardware::Architecture;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let cases = [
+        (BenchmarkFamily::QaoaRegular3, 20_u32),
+        (BenchmarkFamily::QaoaRegular3, 40),
+        (BenchmarkFamily::Bv, 30),
+        (BenchmarkFamily::QsimRand, 20),
+    ];
+    for (family, n) in cases {
+        let instance = generate(family, n, 7);
+        let arch = Architecture::for_qubits(n);
+
+        group.bench_with_input(
+            BenchmarkId::new("powermove", &instance.name),
+            &instance,
+            |b, inst| {
+                let compiler = PowerMoveCompiler::new(CompilerConfig::default());
+                b.iter(|| black_box(compiler.compile(&inst.circuit, &arch).unwrap()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enola", &instance.name),
+            &instance,
+            |b, inst| {
+                let compiler = EnolaCompiler::default();
+                b.iter(|| black_box(compiler.compile(&inst.circuit, &arch).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_time);
+criterion_main!(benches);

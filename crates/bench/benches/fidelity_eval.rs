@@ -1,0 +1,30 @@
+//! Fidelity-model benchmark: cost of replaying a compiled program and
+//! evaluating Eq. (1) over the resulting execution trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powermove::{CompilerConfig, PowerMoveCompiler};
+use powermove_benchmarks::{generate, BenchmarkFamily};
+use powermove_fidelity::evaluate_program;
+use powermove_hardware::Architecture;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fidelity_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fidelity_eval");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for n in [30_u32, 60] {
+        let instance = generate(BenchmarkFamily::QaoaRegular3, n, 5);
+        let arch = Architecture::for_qubits(n);
+        let program = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&instance.circuit, &arch)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, program| {
+            b.iter(|| black_box(evaluate_program(program).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fidelity_eval);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 6 benchmark: cost of producing one fidelity-breakdown point
+//! (compile + simulate + Eq. (1)) for each benchmark family of the figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powermove_bench::{run_instance, CompilerKind};
+use powermove_benchmarks::{generate, BenchmarkFamily};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fig6_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_breakdown_point");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let cases = [
+        (BenchmarkFamily::QaoaRegular3, 40_u32),
+        (BenchmarkFamily::QsimRand, 20),
+        (BenchmarkFamily::Qft, 20),
+        (BenchmarkFamily::Vqe, 30),
+        (BenchmarkFamily::Bv, 30),
+    ];
+    for (family, n) in cases {
+        let instance = generate(family, n, 17);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&instance.name),
+            &instance,
+            |b, inst| {
+                b.iter(|| black_box(run_instance(inst, 1, CompilerKind::PowerMoveStorage)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_points);
+criterion_main!(benches);

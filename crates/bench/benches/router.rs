@@ -1,0 +1,49 @@
+//! Continuous-router benchmark: cost of planning one full circuit's layout
+//! transitions in the with-storage and non-storage configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powermove::{partition_stages, schedule_stages, Router};
+use powermove_benchmarks::{generate, BenchmarkFamily};
+use powermove_circuit::BlockProgram;
+use powermove_hardware::{Architecture, Zone};
+use powermove_schedule::Layout;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("continuous_router");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for n in [30_u32, 60] {
+        let instance = generate(BenchmarkFamily::QaoaRegular3, n, 3);
+        let program = BlockProgram::from_circuit(&instance.circuit);
+        let stages: Vec<_> = program
+            .cz_blocks()
+            .flat_map(|b| schedule_stages(partition_stages(b), 0.5))
+            .collect();
+        let arch = Architecture::for_qubits(n);
+
+        group.bench_with_input(BenchmarkId::new("with_storage", n), &stages, |b, stages| {
+            b.iter(|| {
+                let layout = Layout::row_major(&arch, n, Zone::Storage).unwrap();
+                let mut router = Router::new(arch.clone(), layout, true);
+                for stage in stages {
+                    black_box(router.route_stage(stage).unwrap());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("non_storage", n), &stages, |b, stages| {
+            b.iter(|| {
+                let layout = Layout::row_major(&arch, n, Zone::Compute).unwrap();
+                let mut router = Router::new(arch.clone(), layout, false);
+                for stage in stages {
+                    black_box(router.route_stage(stage).unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Stage-partition benchmark: PowerMove's greedy edge colouring (Alg. 1)
+//! versus the Enola-style iterated maximum-independent-set scheduler, on
+//! commuting CZ blocks of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enola_baseline::partition_stages_mis;
+use powermove::partition_stages;
+use powermove_benchmarks::random_regular_graph;
+use powermove_circuit::{CzBlock, CzGate, Qubit};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn block_for(n: u32, degree: u32) -> CzBlock {
+    random_regular_graph(n, degree, 13)
+        .into_iter()
+        .map(|(a, b)| CzGate::new(Qubit::new(a), Qubit::new(b)))
+        .collect()
+}
+
+fn bench_stage_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage_partition");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for n in [20_u32, 50, 100] {
+        let block = block_for(n, 3);
+        group.bench_with_input(
+            BenchmarkId::new("edge_coloring", n),
+            &block,
+            |b, block| b.iter(|| black_box(partition_stages(block))),
+        );
+        group.bench_with_input(BenchmarkId::new("iterated_mis", n), &block, |b, block| {
+            b.iter(|| black_box(partition_stages_mis(block, 50_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_partition);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! End-to-end Table 3 benchmark: compile + validate + score one benchmark
+//! instance under each of the three compiler configurations. The reported
+//! times are the full per-row cost of regenerating Table 3; the printed
+//! table itself is produced by the `table3` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powermove_bench::{run_instance, CompilerKind};
+use powermove_benchmarks::{generate, BenchmarkFamily};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_row");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    let cases = [
+        (BenchmarkFamily::QaoaRegular3, 30_u32),
+        (BenchmarkFamily::Bv, 50),
+        (BenchmarkFamily::Vqe, 30),
+    ];
+    for (family, n) in cases {
+        let instance = generate(family, n, 11);
+        for kind in CompilerKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), &instance.name),
+                &instance,
+                |b, inst| b.iter(|| black_box(run_instance(inst, 1, kind))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

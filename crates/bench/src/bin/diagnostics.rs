@@ -1,0 +1,79 @@
+//! Prints detailed schedule statistics (stages, collective moves, movement
+//! time, distances) for one benchmark under the three compiler
+//! configurations. Useful when investigating where execution time goes.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p powermove-bench --bin diagnostics [family] [qubits]
+//! ```
+//!
+//! `family` is matched against the Table 2 family names (default
+//! `QAOA-regular3`), `qubits` defaults to 50.
+
+use enola_baseline::EnolaCompiler;
+use powermove::{CompilerConfig, PowerMoveCompiler};
+use powermove_bench::DEFAULT_SEED;
+use powermove_benchmarks::{generate, BenchmarkFamily};
+use powermove_fidelity::evaluate_program;
+use powermove_hardware::Architecture;
+use powermove_schedule::CompiledProgram;
+
+fn pick_family(name: &str) -> BenchmarkFamily {
+    BenchmarkFamily::ALL
+        .into_iter()
+        .find(|f| f.to_string().to_lowercase().contains(&name.to_lowercase()))
+        .unwrap_or(BenchmarkFamily::QaoaRegular3)
+}
+
+fn describe(name: &str, program: &CompiledProgram) {
+    let report = evaluate_program(program).expect("compiled program is valid");
+    let t = &report.trace;
+    println!(
+        "{name:<26} stages={:<3} move-groups={:<4} coll-moves={:<4} moved-qubits={:<4}",
+        t.rydberg_stage_count,
+        t.move_group_count,
+        t.coll_move_count,
+        t.transfer_count / 2
+    );
+    println!(
+        "{:<26} movement={:.0} us, total distance={:.0} um, longest move={:.0} um",
+        "",
+        t.movement_time * 1e6,
+        t.total_move_distance * 1e6,
+        t.max_move_distance * 1e6
+    );
+    println!(
+        "{:<26} T_exe={:.1} us, fidelity={:.3e} ({})",
+        "",
+        report.execution_time_us(),
+        report.fidelity_excluding_one_qubit(),
+        report.breakdown
+    );
+}
+
+fn main() {
+    let family = pick_family(&std::env::args().nth(1).unwrap_or_default());
+    let qubits: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    let instance = generate(family, qubits, DEFAULT_SEED);
+    let arch = Architecture::for_qubits(instance.num_qubits);
+    println!("benchmark: {}", instance.name);
+
+    let enola = EnolaCompiler::default()
+        .compile(&instance.circuit, &arch)
+        .expect("enola compiles");
+    describe("enola", &enola);
+
+    let non_storage = PowerMoveCompiler::new(CompilerConfig::without_storage())
+        .compile(&instance.circuit, &arch)
+        .expect("powermove compiles");
+    describe("powermove (non-storage)", &non_storage);
+
+    let with_storage = PowerMoveCompiler::new(CompilerConfig::default())
+        .compile(&instance.circuit, &arch)
+        .expect("powermove compiles");
+    describe("powermove (with-storage)", &with_storage);
+}

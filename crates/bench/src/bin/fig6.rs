@@ -1,0 +1,55 @@
+//! Regenerates Fig. 6 of the paper: the fidelity-factor breakdown (two-qubit,
+//! excitation, transfer, decoherence) versus qubit count for five benchmark
+//! families under the three compiler configurations.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p powermove-bench --bin fig6 [family-filter]
+//! ```
+
+use powermove_bench::{run_instance, CompilerKind, RunResult, DEFAULT_SEED};
+use powermove_benchmarks::{generate, BenchmarkFamily};
+
+/// The qubit sweeps of Fig. 6(a)-(e).
+fn sweeps() -> Vec<(BenchmarkFamily, Vec<u32>)> {
+    vec![
+        (BenchmarkFamily::QaoaRegular3, vec![20, 40, 60, 80, 100]),
+        (BenchmarkFamily::QsimRand, vec![10, 20, 40, 60, 80]),
+        (BenchmarkFamily::Qft, vec![20, 30, 40, 50, 60]),
+        (BenchmarkFamily::Vqe, vec![10, 20, 30, 40, 50]),
+        (BenchmarkFamily::Bv, vec![20, 30, 40, 50, 60, 70]),
+    ]
+}
+
+fn print_row(result: &RunResult) {
+    println!(
+        "  {:<26} n={:<4} total={:>9.3e}  2q={:>9.3e}  exc={:>9.3e}  trans={:>9.3e}  deco={:>9.3e}",
+        result.compiler.to_string(),
+        result.num_qubits,
+        result.fidelity,
+        result.breakdown.two_qubit,
+        result.breakdown.excitation,
+        result.breakdown.transfer,
+        result.breakdown.decoherence,
+    );
+}
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    for (family, sizes) in sweeps() {
+        let name = family.to_string();
+        if !filter.is_empty() && !name.contains(&filter) {
+            continue;
+        }
+        println!("== Fig. 6: {name} ==");
+        for n in sizes {
+            let instance = generate(family, n, DEFAULT_SEED);
+            for kind in CompilerKind::ALL {
+                let result = run_instance(&instance, 1, kind);
+                print_row(&result);
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 7 of the paper: execution time and fidelity of the
+//! with-storage PowerMove configuration as the number of AOD arrays grows
+//! from 1 to 4, on the five benchmark instances used in the figure.
+
+use powermove_bench::{run_instance, CompilerKind, DEFAULT_SEED};
+use powermove_benchmarks::{generate, BenchmarkFamily};
+
+fn main() {
+    let cases = [
+        (BenchmarkFamily::QaoaRegular3, 100_u32),
+        (BenchmarkFamily::QsimRand, 20),
+        (BenchmarkFamily::Qft, 18),
+        (BenchmarkFamily::Vqe, 50),
+        (BenchmarkFamily::Bv, 70),
+    ];
+    println!(
+        "{:<20} {:>6} {:>14} {:>12} {:>12}",
+        "Benchmark", "#AODs", "Texe (us)", "Fidelity", "Stages"
+    );
+    for (family, n) in cases {
+        let instance = generate(family, n, DEFAULT_SEED);
+        for aods in 1..=4_usize {
+            let result = run_instance(&instance, aods, CompilerKind::PowerMoveStorage);
+            println!(
+                "{:<20} {:>6} {:>14.1} {:>12.3e} {:>12}",
+                instance.name, aods, result.execution_time_us, result.fidelity, result.stages
+            );
+        }
+        println!();
+    }
+}

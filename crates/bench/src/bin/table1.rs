@@ -1,0 +1,48 @@
+//! Regenerates Table 1 of the paper: fidelity and duration of the elementary
+//! neutral-atom operations used by the compiler and the fidelity model.
+
+use powermove_hardware::PhysicalParams;
+
+fn main() {
+    let p = PhysicalParams::default();
+    println!("Table 1: NAQC operation parameters");
+    println!("{:<28} {:>12} {:>16}", "Operation", "Fidelity", "Duration");
+    println!(
+        "{:<28} {:>11.2}% {:>16}",
+        "1Q gate (Raman)",
+        p.one_qubit_fidelity * 100.0,
+        format!("{:.0} us", p.one_qubit_duration * 1e6)
+    );
+    println!(
+        "{:<28} {:>11.2}% {:>16}",
+        "CZ gate (Rydberg)",
+        p.cz_fidelity * 100.0,
+        format!("{:.0} ns", p.cz_duration * 1e9)
+    );
+    println!(
+        "{:<28} {:>11.2}% {:>16}",
+        "Excitation (non-interacting)",
+        p.excitation_fidelity * 100.0,
+        format!("{:.0} ns", p.cz_duration * 1e9)
+    );
+    println!(
+        "{:<28} {:>11.2}% {:>16}",
+        "SLM<->AOD transfer",
+        p.transfer_fidelity * 100.0,
+        format!("{:.0} us", p.transfer_duration * 1e6)
+    );
+    println!();
+    println!("Qubit movement: ~100% fidelity while a < {:.0} m/s^2", p.max_acceleration);
+    for d_um in [27.5_f64, 110.0] {
+        let t = powermove_hardware::move_duration(d_um * 1e-6, p.max_acceleration);
+        println!("  {:>6.1} um move -> {:>6.0} us", d_um, t * 1e6);
+    }
+    println!();
+    println!("Geometry: {:.0} um site spacing, {:.0} um compute/storage gap,", p.site_spacing * 1e6, p.zone_gap * 1e6);
+    println!(
+        "  Rydberg radius {:.0} um, minimum non-interacting separation {:.0} um,",
+        p.rydberg_radius * 1e6,
+        p.min_separation * 1e6
+    );
+    println!("  coherence time T2 = {:.1} s", p.coherence_time);
+}

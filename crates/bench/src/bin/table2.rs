@@ -1,0 +1,32 @@
+//! Regenerates Table 2 of the paper: the benchmark instances and the zone
+//! dimensions of the hardware configuration derived from each qubit count.
+
+use powermove_bench::DEFAULT_SEED;
+use powermove_benchmarks::table2_suite;
+use powermove_circuit::CircuitStats;
+use powermove_hardware::Zone;
+
+fn main() {
+    let suite = table2_suite(DEFAULT_SEED);
+    println!(
+        "{:<20} {:>8} {:>10} {:>9} {:>18} {:>16} {:>18}",
+        "Name", "#Qubits", "#CZ gates", "#Blocks", "Compute (um^2)", "Inter (um^2)", "Storage (um^2)"
+    );
+    for instance in &suite {
+        let arch = instance.architecture();
+        let stats = CircuitStats::of(&instance.circuit);
+        let (cw, ch) = arch.grid().zone_size_um(Zone::Compute);
+        let (iw, ih) = arch.grid().inter_zone_size_um();
+        let (sw, sh) = arch.grid().zone_size_um(Zone::Storage);
+        println!(
+            "{:<20} {:>8} {:>10} {:>9} {:>18} {:>16} {:>18}",
+            instance.name,
+            instance.num_qubits,
+            stats.cz_gates,
+            stats.cz_blocks,
+            format!("{cw:.0} x {ch:.0}"),
+            format!("{iw:.0} x {ih:.0}"),
+            format!("{sw:.0} x {sh:.0}"),
+        );
+    }
+}

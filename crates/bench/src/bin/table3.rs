@@ -1,0 +1,59 @@
+//! Regenerates Table 3 of the paper: fidelity, execution time and
+//! compilation time of Enola versus PowerMove (non-storage and with-storage)
+//! on every benchmark instance of Table 2.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p powermove-bench --bin table3 [name-filter]
+//! ```
+//!
+//! An optional substring filter restricts the run to matching benchmark
+//! names (e.g. `QAOA-regular3` or `BV-70`).
+
+use powermove_bench::{table3_row, DEFAULT_SEED};
+use powermove_benchmarks::table2_suite;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let suite = table2_suite(DEFAULT_SEED);
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>9} | {:>12} {:>12} {:>12} {:>7} | {:>10} {:>10} {:>8}",
+        "Benchmark",
+        "Enola Fid.",
+        "Our(non-st)",
+        "Our(storage)",
+        "Fid.Impr",
+        "Enola Texe",
+        "non-st Texe",
+        "storage Texe",
+        "T.Impr",
+        "Enola Tc(s)",
+        "Our Tc(s)",
+        "Tc.Impr"
+    );
+    for instance in suite
+        .iter()
+        .filter(|i| filter.is_empty() || i.name.contains(&filter))
+    {
+        let row = table3_row(instance);
+        let our_tcomp =
+            0.5 * (row.non_storage.compile_time_s + row.with_storage.compile_time_s);
+        println!(
+            "{:<18} {:>12.3e} {:>12.3e} {:>12.3e} {:>8.2}x | {:>12.1} {:>12.1} {:>12.1} {:>6.2}x | {:>10.3} {:>10.3} {:>7.2}x",
+            row.benchmark,
+            row.enola.fidelity,
+            row.non_storage.fidelity,
+            row.with_storage.fidelity,
+            row.fidelity_improvement(),
+            row.enola.execution_time_us,
+            row.non_storage.execution_time_us,
+            row.with_storage.execution_time_us,
+            row.execution_time_improvement(),
+            row.enola.compile_time_s,
+            our_tcomp,
+            row.compile_time_improvement(),
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared experiment-runner utilities.
+
+use enola_baseline::{EnolaCompiler, EnolaConfig};
+use powermove::{CompilerConfig, PowerMoveCompiler};
+use powermove_benchmarks::BenchmarkInstance;
+use powermove_fidelity::{evaluate_program, FidelityBreakdown};
+use powermove_hardware::Architecture;
+use powermove_schedule::CompiledProgram;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Instant;
+
+/// Seed used by every experiment binary, making the reported numbers
+/// reproducible run to run.
+pub const DEFAULT_SEED: u64 = 20250;
+
+/// Which compiler / configuration to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompilerKind {
+    /// The Enola-style baseline (no storage zone, revert-to-initial routing).
+    Enola,
+    /// PowerMove with only the continuous router (non-storage case).
+    PowerMoveNonStorage,
+    /// Full PowerMove with the storage zone (with-storage case).
+    PowerMoveStorage,
+}
+
+impl CompilerKind {
+    /// All three evaluation configurations, in Table 3 column order.
+    pub const ALL: [CompilerKind; 3] = [
+        CompilerKind::Enola,
+        CompilerKind::PowerMoveNonStorage,
+        CompilerKind::PowerMoveStorage,
+    ];
+}
+
+impl fmt::Display for CompilerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompilerKind::Enola => write!(f, "enola"),
+            CompilerKind::PowerMoveNonStorage => write!(f, "powermove(non-storage)"),
+            CompilerKind::PowerMoveStorage => write!(f, "powermove(with-storage)"),
+        }
+    }
+}
+
+/// The outcome of compiling and scoring one benchmark instance with one
+/// compiler configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The compiler configuration.
+    pub compiler: CompilerKind,
+    /// Benchmark name, e.g. `"QAOA-regular3-30"`.
+    pub benchmark: String,
+    /// Circuit width.
+    pub num_qubits: u32,
+    /// Output fidelity excluding the 1Q factor (the paper's convention).
+    pub fidelity: f64,
+    /// Per-factor fidelity breakdown.
+    pub breakdown: FidelityBreakdown,
+    /// Execution time in microseconds.
+    pub execution_time_us: f64,
+    /// Compilation wall-clock time in seconds.
+    pub compile_time_s: f64,
+    /// Number of Rydberg stages.
+    pub stages: usize,
+    /// Number of SLM↔AOD transfers.
+    pub transfers: usize,
+    /// Total excitation exposure (Σ n_i).
+    pub excitation_exposure: usize,
+    /// Number of CZ gates.
+    pub cz_gates: usize,
+}
+
+/// Compiles one benchmark instance with the given configuration and number
+/// of AOD arrays, then validates and scores the program.
+///
+/// # Panics
+///
+/// Panics if compilation or validation fails; the experiment binaries treat
+/// that as a reproduction bug worth failing loudly on.
+#[must_use]
+pub fn run_instance(
+    instance: &BenchmarkInstance,
+    num_aods: usize,
+    kind: CompilerKind,
+) -> RunResult {
+    let arch = Architecture::for_qubits(instance.num_qubits).with_num_aods(num_aods);
+    let start = Instant::now();
+    let program: CompiledProgram = match kind {
+        CompilerKind::Enola => EnolaCompiler::new(EnolaConfig::default())
+            .compile(&instance.circuit, &arch)
+            .expect("enola compilation succeeds"),
+        CompilerKind::PowerMoveNonStorage => {
+            PowerMoveCompiler::new(CompilerConfig::without_storage())
+                .compile(&instance.circuit, &arch)
+                .expect("powermove compilation succeeds")
+        }
+        CompilerKind::PowerMoveStorage => PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&instance.circuit, &arch)
+            .expect("powermove compilation succeeds"),
+    };
+    let compile_time_s = start.elapsed().as_secs_f64();
+    let report = evaluate_program(&program).expect("compiled program is valid");
+    RunResult {
+        compiler: kind,
+        benchmark: instance.name.clone(),
+        num_qubits: instance.num_qubits,
+        fidelity: report.fidelity_excluding_one_qubit(),
+        breakdown: report.breakdown,
+        execution_time_us: report.execution_time_us(),
+        compile_time_s,
+        stages: report.trace.rydberg_stage_count,
+        transfers: report.trace.transfer_count,
+        excitation_exposure: report.trace.excitation_exposure,
+        cz_gates: report.trace.cz_gate_count,
+    }
+}
+
+/// One row of Table 3: the three configurations on one benchmark instance
+/// plus the improvement ratios the paper reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Enola baseline result.
+    pub enola: RunResult,
+    /// PowerMove non-storage result.
+    pub non_storage: RunResult,
+    /// PowerMove with-storage result.
+    pub with_storage: RunResult,
+}
+
+impl Table3Row {
+    /// Fidelity improvement of the with-storage configuration over Enola.
+    #[must_use]
+    pub fn fidelity_improvement(&self) -> f64 {
+        safe_ratio(self.with_storage.fidelity, self.enola.fidelity)
+    }
+
+    /// Execution-time improvement (Enola / best PowerMove configuration).
+    #[must_use]
+    pub fn execution_time_improvement(&self) -> f64 {
+        let best = self
+            .non_storage
+            .execution_time_us
+            .min(self.with_storage.execution_time_us);
+        safe_ratio(self.enola.execution_time_us, best)
+    }
+
+    /// Compilation-time improvement (Enola / mean PowerMove compile time).
+    #[must_use]
+    pub fn compile_time_improvement(&self) -> f64 {
+        let ours = 0.5 * (self.non_storage.compile_time_s + self.with_storage.compile_time_s);
+        safe_ratio(self.enola.compile_time_s, ours)
+    }
+}
+
+fn safe_ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator <= 0.0 {
+        f64::INFINITY
+    } else {
+        numerator / denominator
+    }
+}
+
+/// Runs the three Table 3 configurations on one benchmark instance.
+#[must_use]
+pub fn table3_row(instance: &BenchmarkInstance) -> Table3Row {
+    Table3Row {
+        benchmark: instance.name.clone(),
+        enola: run_instance(instance, 1, CompilerKind::Enola),
+        non_storage: run_instance(instance, 1, CompilerKind::PowerMoveNonStorage),
+        with_storage: run_instance(instance, 1, CompilerKind::PowerMoveStorage),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_benchmarks::{generate, BenchmarkFamily};
+
+    #[test]
+    fn run_instance_produces_consistent_result() {
+        let instance = generate(BenchmarkFamily::QaoaRegular3, 10, DEFAULT_SEED);
+        let result = run_instance(&instance, 1, CompilerKind::PowerMoveStorage);
+        assert_eq!(result.num_qubits, 10);
+        assert_eq!(result.cz_gates, 15);
+        assert!(result.fidelity > 0.0 && result.fidelity <= 1.0);
+        assert!(result.execution_time_us > 0.0);
+        assert!(result.stages >= 3);
+    }
+
+    #[test]
+    fn storage_mode_eliminates_exposure_on_benchmarks() {
+        let instance = generate(BenchmarkFamily::Bv, 14, DEFAULT_SEED);
+        let with = run_instance(&instance, 1, CompilerKind::PowerMoveStorage);
+        let enola = run_instance(&instance, 1, CompilerKind::Enola);
+        assert_eq!(with.excitation_exposure, 0);
+        assert!(enola.excitation_exposure > 0);
+    }
+
+    #[test]
+    fn table3_row_improvements_favour_powermove() {
+        // At toy scale the storage-zone benefit is small (the paper's
+        // smallest instance has 30 qubits), so only require that PowerMove
+        // is not meaningfully worse on fidelity and clearly faster to
+        // execute.
+        let instance = generate(BenchmarkFamily::QaoaRegular3, 12, DEFAULT_SEED);
+        let row = table3_row(&instance);
+        assert!(
+            row.fidelity_improvement() > 0.9,
+            "fidelity improvement {}",
+            row.fidelity_improvement()
+        );
+        assert!(row.execution_time_improvement() > 1.0);
+        // The storage zone removes every excitation exposure.
+        assert_eq!(row.with_storage.excitation_exposure, 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness for the PowerMove reproduction.
+//!
+//! This crate regenerates every table and figure of the paper's evaluation
+//! (Sec. 7) from the reimplemented compilers:
+//!
+//! * `table1` — hardware parameters (Table 1);
+//! * `table2` — benchmark instances and zone sizes (Table 2);
+//! * `table3` — fidelity, execution time and compilation time of Enola vs
+//!   PowerMove in the non-storage and with-storage configurations (Table 3);
+//! * `fig6` — fidelity-factor breakdown versus qubit count for five
+//!   benchmark families under the three compilers (Fig. 6);
+//! * `fig7` — execution time and fidelity versus the number of AOD arrays
+//!   (Fig. 7).
+//!
+//! Each binary prints a plain-text table (and optionally JSON) so results
+//! can be compared against the numbers reported in the paper; see
+//! `EXPERIMENTS.md` at the workspace root.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod harness;
+
+pub use harness::{
+    run_instance, table3_row, CompilerKind, RunResult, Table3Row, DEFAULT_SEED,
+};

@@ -1,0 +1,87 @@
+//! Bernstein–Vazirani benchmark.
+
+use powermove_circuit::{Circuit, Qubit};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Builds a Bernstein–Vazirani circuit on `num_qubits` qubits (the last
+/// qubit is the oracle ancilla).
+///
+/// The secret string has an even split of 0s and 1s (as specified in
+/// Sec. 7.1), shuffled deterministically by `seed`. Each secret 1-bit
+/// contributes a CNOT onto the ancilla, lowered to `H · CZ · H`; the
+/// Hadamards on the shared ancilla serialize the CZ gates into separate
+/// blocks, which is why BV exhibits many Rydberg stages with a single gate
+/// each (Sec. 7.3).
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2`.
+#[must_use]
+pub fn bernstein_vazirani(num_qubits: u32, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "BV needs at least one data qubit and one ancilla");
+    let data = num_qubits - 1;
+    let ancilla = Qubit::new(num_qubits - 1);
+
+    let ones = (data / 2).max(1);
+    let mut secret: Vec<bool> = (0..data).map(|i| i < ones).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    secret.shuffle(&mut rng);
+
+    let mut c = Circuit::new(num_qubits);
+    for i in 0..data {
+        c.h(Qubit::new(i)).expect("qubit in range");
+    }
+    c.x(ancilla).expect("ancilla in range");
+    c.h(ancilla).expect("ancilla in range");
+    for (i, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.cnot(Qubit::new(i as u32), ancilla).expect("qubits in range");
+        }
+    }
+    for i in 0..data {
+        c.h(Qubit::new(i)).expect("qubit in range");
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::BlockProgram;
+
+    #[test]
+    fn bv_has_one_cz_per_secret_one() {
+        let c = bernstein_vazirani(14, 5);
+        // 13 data qubits -> 6 ones.
+        assert_eq!(c.cz_count(), 6);
+    }
+
+    #[test]
+    fn bv_blocks_are_serialized_by_ancilla_hadamards() {
+        let c = bernstein_vazirani(14, 5);
+        let p = BlockProgram::from_circuit(&c);
+        assert_eq!(p.cz_blocks().count(), c.cz_count());
+        assert!(p.cz_blocks().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn bv_is_deterministic_per_seed() {
+        assert_eq!(bernstein_vazirani(50, 1), bernstein_vazirani(50, 1));
+        assert_ne!(bernstein_vazirani(50, 1), bernstein_vazirani(50, 2));
+    }
+
+    #[test]
+    fn bv_70_matches_table_2_size() {
+        let c = bernstein_vazirani(70, 3);
+        assert_eq!(c.num_qubits(), 70);
+        assert_eq!(c.cz_count(), 34);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn bv_rejects_single_qubit() {
+        let _ = bernstein_vazirani(1, 0);
+    }
+}

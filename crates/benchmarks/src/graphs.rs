@@ -1,0 +1,120 @@
+//! Random graph generators used by the QAOA benchmarks.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random `d`-regular simple graph on `n` vertices using the
+/// configuration (pairing) model with rejection of self-loops and parallel
+/// edges.
+///
+/// Returns the edge list with `n * d / 2` edges.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or if `d >= n` (no simple `d`-regular graph
+/// exists in either case).
+#[must_use]
+pub fn random_regular_graph(n: u32, d: u32, seed: u64) -> Vec<(u32, u32)> {
+    assert!(d < n, "degree {d} must be smaller than vertex count {n}");
+    assert!(
+        (n * d) % 2 == 0,
+        "n*d must be even for a {d}-regular graph on {n} vertices"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Pairing model with full restarts on failure. The expected number of
+    // restarts is O(e^(d^2/4)), tiny for d in {3, 4}.
+    loop {
+        let mut stubs: Vec<u32> = (0..n).flat_map(|v| std::iter::repeat(v).take(d as usize)).collect();
+        stubs.shuffle(&mut rng);
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity((n * d / 2) as usize);
+        let mut seen = std::collections::HashSet::new();
+        let mut ok = true;
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b {
+                ok = false;
+                break;
+            }
+            let key = (a.min(b), a.max(b));
+            if !seen.insert(key) {
+                ok = false;
+                break;
+            }
+            edges.push(key);
+        }
+        if ok {
+            edges.sort_unstable();
+            return edges;
+        }
+    }
+}
+
+/// Generates the edge set of an Erdős–Rényi graph `G(n, p)`: every unordered
+/// pair is included independently with probability `p`.
+#[must_use]
+pub fn random_edges(n: u32, p: f64, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(p) {
+                edges.push((a, b));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn regular_graph_has_correct_degrees() {
+        for (n, d) in [(10, 3), (12, 4), (30, 3), (20, 4)] {
+            let edges = random_regular_graph(n, d, 42);
+            assert_eq!(edges.len(), (n * d / 2) as usize);
+            let mut deg: HashMap<u32, u32> = HashMap::new();
+            for (a, b) in &edges {
+                assert_ne!(a, b);
+                *deg.entry(*a).or_default() += 1;
+                *deg.entry(*b).or_default() += 1;
+            }
+            assert!(deg.values().all(|&v| v == d), "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn regular_graph_has_no_parallel_edges() {
+        let edges = random_regular_graph(30, 3, 1);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len());
+    }
+
+    #[test]
+    fn regular_graph_is_deterministic_per_seed() {
+        assert_eq!(random_regular_graph(20, 3, 5), random_regular_graph(20, 3, 5));
+        assert_ne!(random_regular_graph(20, 3, 5), random_regular_graph(20, 3, 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_degree_sum_panics() {
+        let _ = random_regular_graph(5, 3, 0);
+    }
+
+    #[test]
+    fn random_edges_probability_extremes() {
+        assert!(random_edges(10, 0.0, 1).is_empty());
+        assert_eq!(random_edges(10, 1.0, 1).len(), 45);
+    }
+
+    #[test]
+    fn random_edges_half_probability_is_plausible() {
+        let edges = random_edges(30, 0.5, 3);
+        let total = 30 * 29 / 2;
+        assert!(edges.len() > total / 4 && edges.len() < 3 * total / 4);
+    }
+}

@@ -1,0 +1,90 @@
+//! QAOA benchmark circuits.
+
+use crate::graphs::{random_edges, random_regular_graph};
+use powermove_circuit::{Circuit, Qubit};
+
+/// Builds a single-level (p = 1) QAOA circuit for MaxCut on a random
+/// `degree`-regular graph: a Hadamard layer, one ZZ interaction per graph
+/// edge (each lowered to one CZ plus local rotations) and an Rx mixer layer.
+///
+/// # Panics
+///
+/// Panics if no simple `degree`-regular graph exists on `num_qubits`
+/// vertices (odd `n·d` or `degree >= num_qubits`).
+#[must_use]
+pub fn qaoa_regular(num_qubits: u32, degree: u32, seed: u64) -> Circuit {
+    let edges = random_regular_graph(num_qubits, degree, seed);
+    qaoa_from_edges(num_qubits, &edges)
+}
+
+/// Builds a single-level QAOA circuit whose cost Hamiltonian couples every
+/// qubit pair independently with 50 % probability (the paper's
+/// "QAOA-random" benchmark).
+#[must_use]
+pub fn qaoa_random(num_qubits: u32, seed: u64) -> Circuit {
+    let edges = random_edges(num_qubits, 0.5, seed);
+    qaoa_from_edges(num_qubits, &edges)
+}
+
+fn qaoa_from_edges(num_qubits: u32, edges: &[(u32, u32)]) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    let gamma = 0.7;
+    let beta = 0.3;
+    for i in 0..num_qubits {
+        c.h(Qubit::new(i)).expect("qubit in range");
+    }
+    for &(a, b) in edges {
+        c.zz(Qubit::new(a), Qubit::new(b), gamma)
+            .expect("edge endpoints in range");
+    }
+    for i in 0..num_qubits {
+        c.rx(Qubit::new(i), 2.0 * beta).expect("qubit in range");
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::BlockProgram;
+
+    #[test]
+    fn regular3_has_expected_gate_counts() {
+        let c = qaoa_regular(30, 3, 11);
+        assert_eq!(c.num_qubits(), 30);
+        assert_eq!(c.cz_count(), 45);
+        // H layer + 2 Rz per edge + Rx layer.
+        assert_eq!(c.one_qubit_count(), 30 + 2 * 45 + 30);
+    }
+
+    #[test]
+    fn regular4_has_expected_gate_counts() {
+        let c = qaoa_regular(40, 4, 2);
+        assert_eq!(c.cz_count(), 80);
+    }
+
+    #[test]
+    fn cost_layer_forms_one_cz_block() {
+        let c = qaoa_regular(20, 3, 3);
+        let p = BlockProgram::from_circuit(&c);
+        assert_eq!(p.cz_blocks().count(), 1);
+        assert_eq!(p.total_cz_gates(), 30);
+    }
+
+    #[test]
+    fn random_qaoa_is_seed_deterministic() {
+        let a = qaoa_random(20, 9);
+        let b = qaoa_random(20, 9);
+        assert_eq!(a, b);
+        let c = qaoa_random(20, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_qaoa_density_near_half() {
+        let c = qaoa_random(30, 4);
+        let max_edges = 30 * 29 / 2;
+        assert!(c.cz_count() > max_edges / 4);
+        assert!(c.cz_count() < 3 * max_edges / 4);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quantum Fourier transform benchmark.
+
+use powermove_circuit::{Circuit, Qubit};
+use std::f64::consts::PI;
+
+/// Builds the standard n-qubit quantum Fourier transform.
+///
+/// For each qubit `i` (most significant first) the circuit applies a
+/// Hadamard followed by controlled-phase rotations `CP(π/2^(j−i))` from every
+/// lower qubit `j > i`. Each controlled phase is lowered to one CZ plus local
+/// Rz rotations, the convention the paper uses when counting two-qubit gates.
+/// The final qubit-reversal swaps are omitted, as is conventional for
+/// compiler benchmarks (they can be absorbed into qubit relabelling).
+#[must_use]
+pub fn qft(num_qubits: u32) -> Circuit {
+    let mut c = Circuit::new(num_qubits);
+    for i in 0..num_qubits {
+        c.h(Qubit::new(i)).expect("qubit in range");
+        for j in (i + 1)..num_qubits {
+            let angle = PI / f64::from(1_u32 << (j - i).min(30));
+            c.cphase(Qubit::new(j), Qubit::new(i), angle)
+                .expect("qubits in range");
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::BlockProgram;
+
+    #[test]
+    fn qft_gate_counts() {
+        let c = qft(5);
+        // C(5,2) = 10 controlled phases, one CZ each.
+        assert_eq!(c.cz_count(), 10);
+        // 5 Hadamards + 2 Rz per controlled phase.
+        assert_eq!(c.one_qubit_count(), 5 + 20);
+    }
+
+    #[test]
+    fn qft_18_matches_table_2_size() {
+        let c = qft(18);
+        assert_eq!(c.num_qubits(), 18);
+        assert_eq!(c.cz_count(), 18 * 17 / 2);
+    }
+
+    #[test]
+    fn qft_produces_multiple_blocks() {
+        // The interleaved Hadamards force one CZ block per qubit (except the
+        // last), mirroring the deep sequential structure of QFT.
+        let c = qft(6);
+        let p = BlockProgram::from_circuit(&c);
+        assert_eq!(p.cz_blocks().count(), 5);
+    }
+
+    #[test]
+    fn qft_is_deterministic() {
+        assert_eq!(qft(8), qft(8));
+    }
+}

@@ -1,0 +1,118 @@
+//! Random Pauli-string quantum-simulation benchmark (QSim).
+
+use powermove_circuit::{Circuit, Qubit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a Trotterized random-Pauli-string simulation circuit.
+///
+/// The circuit exponentiates `num_strings` random Pauli strings; every qubit
+/// participates in a given string with probability `density` (0.3 in the
+/// paper, hence "QSIM-rand-0.3") with a uniformly random non-identity Pauli.
+/// Each string is compiled in the standard way: basis-change rotations, a
+/// CNOT ladder onto the last involved qubit, an Rz rotation, and the
+/// un-computation of the ladder and basis changes.
+///
+/// Strings with fewer than two involved qubits contribute only single-qubit
+/// rotations.
+#[must_use]
+pub fn qsim_random(num_qubits: u32, num_strings: u32, density: f64, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..num_strings {
+        // Choose the support and Pauli type of the string.
+        let mut support: Vec<(u32, u8)> = Vec::new();
+        for qubit in 0..num_qubits {
+            if rng.gen_bool(density) {
+                support.push((qubit, rng.gen_range(0..3))); // 0 = X, 1 = Y, 2 = Z
+            }
+        }
+        if support.is_empty() {
+            continue;
+        }
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        append_pauli_rotation(&mut c, &support, angle);
+    }
+    c
+}
+
+fn append_pauli_rotation(c: &mut Circuit, support: &[(u32, u8)], angle: f64) {
+    // Basis changes into the Z basis.
+    for &(q, pauli) in support {
+        match pauli {
+            0 => c.h(Qubit::new(q)).expect("in range"),
+            1 => {
+                c.rx(Qubit::new(q), std::f64::consts::FRAC_PI_2)
+                    .expect("in range");
+            }
+            _ => {}
+        }
+    }
+    if support.len() == 1 {
+        c.rz(Qubit::new(support[0].0), angle).expect("in range");
+    } else {
+        // CNOT ladder onto the last involved qubit, Rz, then un-compute.
+        for w in support.windows(2) {
+            c.cnot(Qubit::new(w[0].0), Qubit::new(w[1].0)).expect("in range");
+        }
+        c.rz(Qubit::new(support[support.len() - 1].0), angle)
+            .expect("in range");
+        for w in support.windows(2).rev() {
+            c.cnot(Qubit::new(w[0].0), Qubit::new(w[1].0)).expect("in range");
+        }
+    }
+    // Undo basis changes.
+    for &(q, pauli) in support {
+        match pauli {
+            0 => c.h(Qubit::new(q)).expect("in range"),
+            1 => {
+                c.rx(Qubit::new(q), -std::f64::consts::FRAC_PI_2)
+                    .expect("in range");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::BlockProgram;
+
+    #[test]
+    fn qsim_is_deterministic_per_seed() {
+        assert_eq!(qsim_random(10, 10, 0.3, 7), qsim_random(10, 10, 0.3, 7));
+        assert_ne!(qsim_random(10, 10, 0.3, 7), qsim_random(10, 10, 0.3, 8));
+    }
+
+    #[test]
+    fn qsim_cz_count_scales_with_support() {
+        // Each string with k >= 2 involved qubits contributes 2(k-1) CNOTs,
+        // i.e. 2(k-1) CZ gates after lowering.
+        let c = qsim_random(20, 10, 0.3, 3);
+        assert!(c.cz_count() > 0);
+        // Expected support per string ~6, so roughly 10 * 2 * 5 = 100 CZs;
+        // allow a generous range.
+        assert!(c.cz_count() > 30, "got {}", c.cz_count());
+        assert!(c.cz_count() < 250, "got {}", c.cz_count());
+    }
+
+    #[test]
+    fn qsim_produces_many_blocks() {
+        let c = qsim_random(20, 10, 0.3, 3);
+        let p = BlockProgram::from_circuit(&c);
+        assert!(p.cz_blocks().count() >= 10);
+    }
+
+    #[test]
+    fn zero_density_gives_no_gates() {
+        let c = qsim_random(10, 10, 0.0, 1);
+        assert_eq!(c.num_gates(), 0);
+    }
+
+    #[test]
+    fn full_density_involves_every_qubit() {
+        let c = qsim_random(6, 1, 1.0, 1);
+        assert_eq!(c.cz_count(), 2 * 5);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for circuit construction.
+
+use crate::Qubit;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating a [`crate::Circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate referenced a qubit index outside the circuit width.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// The circuit width.
+        num_qubits: u32,
+    },
+    /// A two-qubit gate was given the same qubit twice.
+    DuplicateQubit {
+        /// The repeated qubit.
+        qubit: Qubit,
+    },
+    /// The circuit was declared with zero qubits.
+    EmptyCircuit,
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(
+                    f,
+                    "qubit {qubit} is out of range for a circuit of {num_qubits} qubits"
+                )
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "two-qubit gate uses qubit {qubit} twice")
+            }
+            CircuitError::EmptyCircuit => write!(f, "circuit must contain at least one qubit"),
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = CircuitError::QubitOutOfRange {
+            qubit: Qubit::new(9),
+            num_qubits: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("q9"));
+        assert!(msg.contains('4'));
+
+        let e = CircuitError::DuplicateQubit {
+            qubit: Qubit::new(2),
+        };
+        assert!(e.to_string().contains("q2"));
+
+        assert!(CircuitError::EmptyCircuit.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CircuitError>();
+    }
+}

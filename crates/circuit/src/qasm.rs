@@ -1,0 +1,282 @@
+//! Minimal OpenQASM 2.0 import/export for the neutral-atom gate set.
+//!
+//! The supported gate set is exactly the IR's: `h`, `x`, `y`, `z`, `s`, `t`,
+//! `rx`, `ry`, `rz` and `cz`, over a single quantum register. This is enough
+//! to exchange the paper's benchmark circuits with other toolchains and to
+//! round-trip every circuit this crate can represent.
+
+use crate::{Circuit, CircuitError, Gate, OneQubitGate, Qubit};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors produced while parsing OpenQASM text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmError {
+    /// The header (`OPENQASM` / `qreg`) is missing or malformed.
+    MissingHeader,
+    /// A line could not be parsed.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A gate is not part of the supported neutral-atom gate set.
+    UnsupportedGate {
+        /// 1-based line number.
+        line: usize,
+        /// The gate name.
+        gate: String,
+    },
+    /// A qubit reference was invalid for the declared register.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::MissingHeader => write!(f, "missing OPENQASM header or qreg declaration"),
+            QasmError::Malformed { line, text } => write!(f, "malformed statement at line {line}: {text}"),
+            QasmError::UnsupportedGate { line, gate } => {
+                write!(f, "unsupported gate `{gate}` at line {line}")
+            }
+            QasmError::Circuit(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for QasmError {}
+
+impl From<CircuitError> for QasmError {
+    fn from(e: CircuitError) -> Self {
+        QasmError::Circuit(e)
+    }
+}
+
+/// Serializes a circuit as OpenQASM 2.0 text.
+///
+/// # Example
+///
+/// ```
+/// use powermove_circuit::{qasm, Circuit, Qubit};
+///
+/// # fn main() -> Result<(), powermove_circuit::CircuitError> {
+/// let mut c = Circuit::new(2);
+/// c.h(Qubit::new(0))?;
+/// c.cz(Qubit::new(0), Qubit::new(1))?;
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("cz q[0], q[1];"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for gate in circuit.gates() {
+        match gate {
+            Gate::OneQubit { qubit, kind } => {
+                let q = qubit.index();
+                let _ = match kind {
+                    OneQubitGate::H => writeln!(out, "h q[{q}];"),
+                    OneQubitGate::X => writeln!(out, "x q[{q}];"),
+                    OneQubitGate::Y => writeln!(out, "y q[{q}];"),
+                    OneQubitGate::Z => writeln!(out, "z q[{q}];"),
+                    OneQubitGate::S => writeln!(out, "s q[{q}];"),
+                    OneQubitGate::T => writeln!(out, "t q[{q}];"),
+                    OneQubitGate::Rx(a) => writeln!(out, "rx({a}) q[{q}];"),
+                    OneQubitGate::Ry(a) => writeln!(out, "ry({a}) q[{q}];"),
+                    OneQubitGate::Rz(a) => writeln!(out, "rz({a}) q[{q}];"),
+                };
+            }
+            Gate::Cz(cz) => {
+                let _ = writeln!(out, "cz q[{}], q[{}];", cz.lo().index(), cz.hi().index());
+            }
+        }
+    }
+    out
+}
+
+/// Parses OpenQASM 2.0 text into a [`Circuit`].
+///
+/// Only a single `qreg` and the neutral-atom gate set are supported; `creg`,
+/// `measure` and `barrier` statements are ignored.
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] describing the first unparsable or unsupported
+/// statement.
+pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stmt = raw.split("//").next().unwrap_or("").trim();
+        if stmt.is_empty()
+            || stmt.starts_with("OPENQASM")
+            || stmt.starts_with("include")
+            || stmt.starts_with("creg")
+            || stmt.starts_with("measure")
+            || stmt.starts_with("barrier")
+        {
+            continue;
+        }
+        let stmt = stmt.trim_end_matches(';').trim();
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let n = parse_register_size(rest).ok_or(QasmError::Malformed {
+                line,
+                text: raw.to_string(),
+            })?;
+            circuit = Some(Circuit::try_new(n).map_err(QasmError::from)?);
+            continue;
+        }
+        let circuit_ref = circuit.as_mut().ok_or(QasmError::MissingHeader)?;
+        parse_gate(circuit_ref, stmt, line, raw)?;
+    }
+    circuit.ok_or(QasmError::MissingHeader)
+}
+
+fn parse_register_size(rest: &str) -> Option<u32> {
+    let open = rest.find('[')?;
+    let close = rest.find(']')?;
+    rest[open + 1..close].trim().parse().ok()
+}
+
+fn parse_qubit_refs(args: &str) -> Option<Vec<u32>> {
+    args.split(',')
+        .map(|part| {
+            let open = part.find('[')?;
+            let close = part.find(']')?;
+            part[open + 1..close].trim().parse().ok()
+        })
+        .collect()
+}
+
+fn parse_gate(
+    circuit: &mut Circuit,
+    stmt: &str,
+    line: usize,
+    raw: &str,
+) -> Result<(), QasmError> {
+    let malformed = || QasmError::Malformed {
+        line,
+        text: raw.to_string(),
+    };
+    let (head, args) = stmt.split_once(' ').ok_or_else(malformed)?;
+    let qubits = parse_qubit_refs(args).ok_or_else(malformed)?;
+    let (name, angle) = match head.split_once('(') {
+        Some((name, rest)) => {
+            let angle: f64 = rest
+                .trim_end_matches(')')
+                .trim()
+                .parse()
+                .map_err(|_| malformed())?;
+            (name.trim(), Some(angle))
+        }
+        None => (head.trim(), None),
+    };
+
+    let q = |i: usize| Qubit::new(qubits[i]);
+    match (name, angle, qubits.len()) {
+        ("h", None, 1) => circuit.h(q(0))?,
+        ("x", None, 1) => circuit.x(q(0))?,
+        ("y", None, 1) => circuit.one_qubit(q(0), OneQubitGate::Y)?,
+        ("z", None, 1) => circuit.one_qubit(q(0), OneQubitGate::Z)?,
+        ("s", None, 1) => circuit.one_qubit(q(0), OneQubitGate::S)?,
+        ("t", None, 1) => circuit.one_qubit(q(0), OneQubitGate::T)?,
+        ("rx", Some(a), 1) => circuit.rx(q(0), a)?,
+        ("ry", Some(a), 1) => circuit.ry(q(0), a)?,
+        ("rz", Some(a), 1) => circuit.rz(q(0), a)?,
+        ("cz", None, 2) => circuit.cz(q(0), q(1))?,
+        ("cx", None, 2) => circuit.cnot(q(0), q(1))?,
+        _ => {
+            return Err(QasmError::UnsupportedGate {
+                line,
+                gate: name.to_string(),
+            })
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    #[test]
+    fn export_contains_header_and_gates() {
+        let mut c = Circuit::new(3);
+        c.h(q(0)).unwrap();
+        c.rz(q(1), 0.25).unwrap();
+        c.cz(q(0), q(2)).unwrap();
+        let text = to_qasm(&c);
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("h q[0];"));
+        assert!(text.contains("rz(0.25) q[1];"));
+        assert!(text.contains("cz q[0], q[2];"));
+    }
+
+    #[test]
+    fn round_trip_preserves_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(q(0)).unwrap();
+        c.x(q(1)).unwrap();
+        c.ry(q(2), 1.25).unwrap();
+        c.rz(q(3), -0.5).unwrap();
+        c.cz(q(0), q(3)).unwrap();
+        c.cz(q(1), q(2)).unwrap();
+        let parsed = from_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn parses_cx_as_lowered_cnot() {
+        let text = "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.cz_count(), 1);
+        assert_eq!(c.one_qubit_count(), 2);
+    }
+
+    #[test]
+    fn ignores_comments_measure_and_barrier() {
+        let text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n// a comment\nh q[0]; // trailing\nbarrier q;\nmeasure q[0] -> c[0];\n";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert_eq!(from_qasm("h q[0];"), Err(QasmError::MissingHeader));
+        assert!(matches!(from_qasm(""), Err(QasmError::MissingHeader)));
+    }
+
+    #[test]
+    fn unsupported_gate_is_reported_with_line() {
+        let text = "OPENQASM 2.0;\nqreg q[2];\nccx q[0], q[1], q[1];\n";
+        match from_qasm(text) {
+            Err(QasmError::UnsupportedGate { line, gate }) => {
+                assert_eq!(line, 3);
+                assert_eq!(gate, "ccx");
+            }
+            other => panic!("expected unsupported-gate error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_qubit_is_a_circuit_error() {
+        let text = "OPENQASM 2.0;\nqreg q[2];\nh q[5];\n";
+        assert!(matches!(from_qasm(text), Err(QasmError::Circuit(_))));
+    }
+
+    #[test]
+    fn malformed_statement_is_reported() {
+        let text = "OPENQASM 2.0;\nqreg q[2];\nrx() q[0];\n";
+        assert!(matches!(from_qasm(text), Err(QasmError::Malformed { .. })));
+    }
+}

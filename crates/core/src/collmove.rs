@@ -1,0 +1,162 @@
+//! The coll-move scheduler (Sec. 6): execution ordering of collective moves
+//! and multi-AOD packing.
+
+use powermove_hardware::{AodId, Architecture, Zone};
+use powermove_schedule::{CollMove, Instruction, SiteMove};
+
+/// Orders collective-move groups so that moves *into* the storage zone
+/// execute as early as possible and moves *out of* it as late as possible
+/// (Sec. 6.1).
+///
+/// Groups are sorted by descending `n_in − n_out`, where `n_in` counts moves
+/// whose destination lies in the storage zone and `n_out` counts moves whose
+/// source does. Qubits therefore spend the longest possible fraction of the
+/// layout transition protected from decoherence. The sort is stable, so
+/// groups with equal score keep their creation order.
+#[must_use]
+pub fn order_coll_moves(
+    groups: Vec<Vec<SiteMove>>,
+    arch: &Architecture,
+) -> Vec<Vec<SiteMove>> {
+    let grid = arch.grid();
+    let score = |group: &[SiteMove]| -> i64 {
+        let n_in = group
+            .iter()
+            .filter(|m| grid.zone_of(m.to) == Zone::Storage)
+            .count() as i64;
+        let n_out = group
+            .iter()
+            .filter(|m| grid.zone_of(m.from) == Zone::Storage)
+            .count() as i64;
+        n_in - n_out
+    };
+    let mut ordered = groups;
+    ordered.sort_by_key(|g| std::cmp::Reverse(score(g)));
+    ordered
+}
+
+/// Packs ordered collective-move groups onto `num_aods` AOD arrays
+/// (Sec. 6.2): consecutive groups are chunked into parallel groups of size
+/// `num_aods`, each becoming one [`Instruction::MoveGroup`] whose duration is
+/// the pick-up/drop-off transfer time plus the longest translation among its
+/// members.
+#[must_use]
+pub fn pack_move_groups(
+    ordered: Vec<Vec<SiteMove>>,
+    num_aods: usize,
+) -> Vec<Instruction> {
+    let width = num_aods.max(1);
+    ordered
+        .chunks(width)
+        .map(|chunk| {
+            let coll_moves = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, moves)| CollMove::new(AodId::new(i), moves.clone()))
+                .collect();
+            Instruction::move_group(coll_moves)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::Qubit;
+    use powermove_schedule::SiteMove;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn arch() -> Architecture {
+        Architecture::for_qubits(9)
+    }
+
+    fn storage_move(a: &Architecture, qi: u32) -> SiteMove {
+        let g = a.grid();
+        SiteMove::new(
+            q(qi),
+            g.site(Zone::Compute, 0, qi % 3).unwrap(),
+            g.site(Zone::Storage, qi % 3, 0).unwrap(),
+        )
+    }
+
+    fn retrieval_move(a: &Architecture, qi: u32) -> SiteMove {
+        let g = a.grid();
+        SiteMove::new(
+            q(qi),
+            g.site(Zone::Storage, qi % 3, 1).unwrap(),
+            g.site(Zone::Compute, qi % 3, 0).unwrap(),
+        )
+    }
+
+    fn lateral_move(a: &Architecture, qi: u32) -> SiteMove {
+        let g = a.grid();
+        SiteMove::new(
+            q(qi),
+            g.site(Zone::Compute, 0, 0).unwrap(),
+            g.site(Zone::Compute, 1, 0).unwrap(),
+        )
+    }
+
+    #[test]
+    fn move_in_groups_come_first() {
+        let a = arch();
+        let groups = vec![
+            vec![retrieval_move(&a, 0)],
+            vec![lateral_move(&a, 1)],
+            vec![storage_move(&a, 2)],
+        ];
+        let ordered = order_coll_moves(groups, &a);
+        // storage (in) first, lateral (0) second, retrieval (out) last.
+        assert_eq!(ordered[0][0].qubit, q(2));
+        assert_eq!(ordered[1][0].qubit, q(1));
+        assert_eq!(ordered[2][0].qubit, q(0));
+    }
+
+    #[test]
+    fn ordering_is_stable_for_equal_scores() {
+        let a = arch();
+        let groups = vec![vec![lateral_move(&a, 3)], vec![lateral_move(&a, 4)]];
+        let ordered = order_coll_moves(groups, &a);
+        assert_eq!(ordered[0][0].qubit, q(3));
+        assert_eq!(ordered[1][0].qubit, q(4));
+    }
+
+    #[test]
+    fn packing_respects_aod_count() {
+        let a = arch();
+        let groups = vec![
+            vec![storage_move(&a, 0)],
+            vec![storage_move(&a, 1)],
+            vec![storage_move(&a, 2)],
+        ];
+        let single = pack_move_groups(groups.clone(), 1);
+        assert_eq!(single.len(), 3);
+        let dual = pack_move_groups(groups.clone(), 2);
+        assert_eq!(dual.len(), 2);
+        let quad = pack_move_groups(groups, 4);
+        assert_eq!(quad.len(), 1);
+        if let Instruction::MoveGroup { coll_moves } = &quad[0] {
+            assert_eq!(coll_moves.len(), 3);
+            let aods: Vec<usize> = coll_moves.iter().map(|c| c.aod.index()).collect();
+            assert_eq!(aods, vec![0, 1, 2]);
+        } else {
+            panic!("expected a move group");
+        }
+    }
+
+    #[test]
+    fn zero_aods_treated_as_one() {
+        let a = arch();
+        let groups = vec![vec![storage_move(&a, 0)], vec![storage_move(&a, 1)]];
+        assert_eq!(pack_move_groups(groups, 0).len(), 2);
+    }
+
+    #[test]
+    fn empty_groups_produce_no_instructions() {
+        assert!(pack_move_groups(vec![], 2).is_empty());
+        assert!(order_coll_moves(vec![], &arch()).is_empty());
+    }
+}

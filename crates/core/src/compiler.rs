@@ -1,0 +1,302 @@
+//! The end-to-end PowerMove compilation pipeline.
+
+use crate::{
+    group_moves, order_coll_moves, pack_move_groups, partition_stages, schedule_stages,
+    CompileError, CompilerConfig, Router,
+};
+use powermove_circuit::{BlockProgram, Circuit, Segment};
+use powermove_hardware::{Architecture, Zone};
+use powermove_schedule::{CompileMetadata, CompiledProgram, Instruction, Layout};
+use std::time::Instant;
+
+/// The PowerMove compiler.
+///
+/// The pipeline is:
+///
+/// 1. synthesize the circuit into alternating 1Q layers and commuting CZ
+///    blocks;
+/// 2. per block, partition the gates into Rydberg stages (edge colouring)
+///    and order the stages to minimize inter-zone interchange;
+/// 3. per stage, run the continuous router to obtain the direct layout
+///    transition, group the single-qubit moves into AOD-compatible
+///    collective moves, order them for maximum storage dwell time and pack
+///    them onto the available AOD arrays;
+/// 4. emit the move groups followed by the global Rydberg excitation.
+///
+/// # Example
+///
+/// ```
+/// use powermove::{CompilerConfig, PowerMoveCompiler};
+/// use powermove_benchmarks as _;
+/// use powermove_circuit::{Circuit, Qubit};
+/// use powermove_hardware::Architecture;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut circuit = Circuit::new(3);
+/// circuit.cz(Qubit::new(0), Qubit::new(1))?;
+/// circuit.cz(Qubit::new(1), Qubit::new(2))?;
+/// let program = PowerMoveCompiler::new(CompilerConfig::default())
+///     .compile(&circuit, &Architecture::for_qubits(3))?;
+/// assert_eq!(program.cz_gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PowerMoveCompiler {
+    config: CompilerConfig,
+}
+
+impl PowerMoveCompiler {
+    /// Creates a compiler with the given configuration.
+    #[must_use]
+    pub fn new(config: CompilerConfig) -> Self {
+        PowerMoveCompiler { config }
+    }
+
+    /// The compiler configuration.
+    #[must_use]
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// Compiles a circuit for the given architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Hardware`] if the machine cannot host the
+    /// circuit, or [`CompileError::NoFreeSite`] if the router runs out of
+    /// free sites (which cannot happen with the paper's default grid
+    /// dimensions).
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, CompileError> {
+        let start = Instant::now();
+        let n = circuit.num_qubits();
+        arch.check_capacity(n)?;
+
+        let block_program = BlockProgram::from_circuit(circuit);
+        self.compile_blocks(&block_program, arch, n, start)
+    }
+
+    /// Compiles an already-synthesized block program.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PowerMoveCompiler::compile`].
+    pub fn compile_block_program(
+        &self,
+        block_program: &BlockProgram,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, CompileError> {
+        let start = Instant::now();
+        arch.check_capacity(block_program.num_qubits())?;
+        self.compile_blocks(block_program, arch, block_program.num_qubits(), start)
+    }
+
+    fn compile_blocks(
+        &self,
+        block_program: &BlockProgram,
+        arch: &Architecture,
+        num_qubits: u32,
+        start: Instant,
+    ) -> Result<CompiledProgram, CompileError> {
+        // Initial layout: entirely in storage for the with-storage mode
+        // (Sec. 4.2), row-major in the computation zone otherwise.
+        let initial_zone = if self.config.use_storage && arch.grid().num_storage_sites() > 0 {
+            Zone::Storage
+        } else {
+            Zone::Compute
+        };
+        let initial_layout = Layout::row_major(arch, num_qubits, initial_zone)
+            .map_err(|_| CompileError::Hardware(
+                powermove_hardware::HardwareError::InsufficientCapacity {
+                    qubits: num_qubits,
+                    sites: arch.grid().num_sites(),
+                },
+            ))?;
+
+        let mut router = Router::new(
+            arch.clone(),
+            initial_layout.clone(),
+            self.config.use_storage && initial_zone == Zone::Storage,
+        );
+        let mut instructions: Vec<Instruction> = Vec::new();
+        let mut num_stages = 0_usize;
+
+        for segment in block_program.segments() {
+            match segment {
+                Segment::OneQubit(layer) => {
+                    instructions.push(Instruction::one_qubit_layer(layer.gates().to_vec()));
+                }
+                Segment::Cz(block) => {
+                    let stages = partition_stages(block);
+                    let stages = schedule_stages(stages, self.config.alpha);
+                    for stage in &stages {
+                        let routing = router.route_stage(stage)?;
+                        // Storage-bound (and separation) moves are grouped
+                        // and emitted strictly before the interaction moves:
+                        // this realizes the move-in-first policy of Sec. 6.1
+                        // and guarantees that a site vacated towards storage
+                        // is free before an interaction arrives at it.
+                        let mut ordered =
+                            order_coll_moves(group_moves(&routing.storage_moves, arch), arch);
+                        ordered.extend(order_coll_moves(
+                            group_moves(&routing.interaction_moves, arch),
+                            arch,
+                        ));
+                        instructions.extend(pack_move_groups(ordered, arch.num_aods()));
+                        instructions.push(Instruction::rydberg(stage.gates().to_vec()));
+                        num_stages += 1;
+                    }
+                }
+            }
+        }
+
+        let metadata = CompileMetadata {
+            compiler: "powermove".to_string(),
+            compile_time: Some(start.elapsed().as_secs_f64()),
+            uses_storage: self.config.use_storage,
+            num_stages,
+        };
+        Ok(
+            CompiledProgram::new(arch.clone(), num_qubits, initial_layout, instructions)
+                .with_metadata(metadata),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::Qubit;
+    use powermove_fidelity::evaluate_program;
+    use powermove_schedule::validate;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn compile(circuit: &Circuit, use_storage: bool, num_aods: usize) -> CompiledProgram {
+        let arch = Architecture::for_qubits(circuit.num_qubits()).with_num_aods(num_aods);
+        let config = if use_storage {
+            CompilerConfig::default()
+        } else {
+            CompilerConfig::without_storage()
+        };
+        PowerMoveCompiler::new(config).compile(circuit, &arch).unwrap()
+    }
+
+    fn ring_circuit(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.h(q(i)).unwrap();
+        }
+        for i in 0..n {
+            c.cz(q(i), q((i + 1) % n)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn compiled_ring_is_valid_with_storage() {
+        let p = compile(&ring_circuit(8), true, 1);
+        assert!(validate(&p).is_ok());
+        assert_eq!(p.cz_gate_count(), 8);
+        assert!(p.metadata().uses_storage);
+        assert!(p.metadata().compile_time.is_some());
+        assert!(p.rydberg_stage_count() >= 2);
+    }
+
+    #[test]
+    fn compiled_ring_is_valid_without_storage() {
+        let p = compile(&ring_circuit(8), false, 1);
+        assert!(validate(&p).is_ok());
+        assert_eq!(p.cz_gate_count(), 8);
+        assert!(!p.metadata().uses_storage);
+    }
+
+    #[test]
+    fn one_qubit_gates_are_preserved() {
+        let mut c = Circuit::new(4);
+        for i in 0..4 {
+            c.h(q(i)).unwrap();
+        }
+        c.cz(q(0), q(1)).unwrap();
+        for i in 0..4 {
+            c.rz(q(i), 0.3).unwrap();
+        }
+        let p = compile(&c, true, 1);
+        assert_eq!(p.one_qubit_gate_count(), 8);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn multi_aod_reduces_or_preserves_move_groups() {
+        let circuit = ring_circuit(12);
+        let single = compile(&circuit, true, 1);
+        let quad = compile(&circuit, true, 4);
+        assert!(quad.move_group_count() <= single.move_group_count());
+        assert!(validate(&quad).is_ok());
+        // Same gates either way.
+        assert_eq!(single.cz_gate_count(), quad.cz_gate_count());
+    }
+
+    #[test]
+    fn storage_mode_eliminates_excitation_exposure() {
+        // Only qubits 0..6 interact; qubits 6..10 idle and are exposed to
+        // every excitation unless parked in the storage zone.
+        let mut circuit = Circuit::new(10);
+        for i in 0..10 {
+            circuit.h(q(i)).unwrap();
+        }
+        for i in 0..6_u32 {
+            circuit.cz(q(i), q((i + 1) % 6)).unwrap();
+        }
+        let with = compile(&circuit, true, 1);
+        let without = compile(&circuit, false, 1);
+        let report_with = evaluate_program(&with).unwrap();
+        let report_without = evaluate_program(&without).unwrap();
+        assert_eq!(report_with.trace.excitation_exposure, 0);
+        assert!(report_without.trace.excitation_exposure > 0);
+        assert!(report_with.breakdown.excitation > report_without.breakdown.excitation);
+    }
+
+    #[test]
+    fn empty_circuit_compiles_to_empty_program() {
+        let c = Circuit::new(3);
+        let p = compile(&c, true, 1);
+        assert_eq!(p.num_instructions(), 0);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn capacity_error_is_reported() {
+        let c = ring_circuit(10);
+        let tiny =
+            Architecture::for_qubits(10).with_grid(powermove_hardware::ZonedGrid::with_dims(2, 2, 4).unwrap());
+        let result = PowerMoveCompiler::new(CompilerConfig::default()).compile(&c, &tiny);
+        assert!(matches!(result, Err(CompileError::Hardware(_))));
+    }
+
+    #[test]
+    fn qaoa_like_workload_compiles_and_scores() {
+        // A denser workload: two rounds of ring coupling plus cross links.
+        let mut c = Circuit::new(9);
+        for i in 0..9 {
+            c.h(q(i)).unwrap();
+        }
+        for i in 0..9 {
+            c.zz(q(i), q((i + 1) % 9), 0.4).unwrap();
+        }
+        for i in 0..4 {
+            c.zz(q(i), q(i + 4), 0.4).unwrap();
+        }
+        let p = compile(&c, true, 1);
+        assert!(validate(&p).is_ok());
+        let report = evaluate_program(&p).unwrap();
+        assert!(report.fidelity() > 0.0);
+        assert!(report.execution_time > 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Compiler configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration knobs of the PowerMove compiler.
+///
+/// The two evaluation scenarios of the paper map onto this struct directly:
+/// the *with-storage* case is [`CompilerConfig::default`] (storage zone on),
+/// the *non-storage* case is [`CompilerConfig::without_storage`] (only the
+/// continuous router is active and every qubit stays in the computation
+/// zone).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompilerConfig {
+    /// Whether non-interacting qubits are parked in the storage zone between
+    /// stages (Sec. 4 and Sec. 6 optimizations).
+    pub use_storage: bool,
+    /// Weight `α < 1` of the "move-out" term in the stage-scheduling
+    /// difference metric `|Q_i \ Q_{i+1}| + α·|Q_{i+1} \ Q_i|` (Sec. 4.2).
+    pub alpha: f64,
+}
+
+impl CompilerConfig {
+    /// The with-storage configuration used by the paper's main results.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The non-storage configuration: only the continuous router is applied
+    /// and all qubits remain in the computation zone.
+    #[must_use]
+    pub fn without_storage() -> Self {
+        CompilerConfig {
+            use_storage: false,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the stage-scheduling weight `α`.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+}
+
+impl Default for CompilerConfig {
+    fn default() -> Self {
+        CompilerConfig {
+            use_storage: true,
+            alpha: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_uses_storage() {
+        let c = CompilerConfig::default();
+        assert!(c.use_storage);
+        assert!(c.alpha > 0.0 && c.alpha < 1.0);
+        assert_eq!(CompilerConfig::new(), c);
+    }
+
+    #[test]
+    fn without_storage_disables_storage_only() {
+        let c = CompilerConfig::without_storage();
+        assert!(!c.use_storage);
+        assert_eq!(c.alpha, CompilerConfig::default().alpha);
+    }
+
+    #[test]
+    fn with_alpha_overrides() {
+        let c = CompilerConfig::default().with_alpha(0.25);
+        assert_eq!(c.alpha, 0.25);
+    }
+}

@@ -1,0 +1,85 @@
+//! Compiler error type.
+
+use powermove_circuit::{CircuitError, Qubit};
+use powermove_hardware::{HardwareError, Zone};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the PowerMove compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The machine cannot host the circuit (zone capacity).
+    Hardware(HardwareError),
+    /// The input circuit is malformed.
+    Circuit(CircuitError),
+    /// The router could not find a free site in the given zone for a qubit.
+    NoFreeSite {
+        /// The qubit that needed a site.
+        qubit: Qubit,
+        /// The zone that was searched.
+        zone: Zone,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Hardware(e) => write!(f, "{e}"),
+            CompileError::Circuit(e) => write!(f, "{e}"),
+            CompileError::NoFreeSite { qubit, zone } => {
+                write!(f, "no free {zone} site available for {qubit}")
+            }
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Hardware(e) => Some(e),
+            CompileError::Circuit(e) => Some(e),
+            CompileError::NoFreeSite { .. } => None,
+        }
+    }
+}
+
+impl From<HardwareError> for CompileError {
+    fn from(e: HardwareError) -> Self {
+        CompileError::Hardware(e)
+    }
+}
+
+impl From<CircuitError> for CompileError {
+    fn from(e: CircuitError) -> Self {
+        CompileError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CompileError::NoFreeSite {
+            qubit: Qubit::new(3),
+            zone: Zone::Storage,
+        };
+        assert!(e.to_string().contains("q3"));
+        assert!(e.to_string().contains("storage"));
+        assert!(e.source().is_none());
+
+        let inner = HardwareError::InsufficientCapacity {
+            qubits: 10,
+            sites: 4,
+        };
+        let e: CompileError = inner.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CompileError>();
+    }
+}

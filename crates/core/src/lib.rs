@@ -1,0 +1,69 @@
+//! The PowerMove compiler for zoned neutral-atom quantum computers.
+//!
+//! PowerMove (ASPLOS 2025) lowers a quantum circuit onto a neutral-atom
+//! machine with a computation zone and a storage zone, exploiting the
+//! interplay between gate scheduling, qubit allocation, qubit movement and
+//! the zoned architecture. The compiler has three components, mirroring the
+//! paper:
+//!
+//! * the **stage scheduler** (Sec. 4): partitions each commuting CZ block
+//!   into Rydberg stages via optimized edge colouring
+//!   ([`partition_stages`]) and orders the stages to minimize inter-zone
+//!   qubit interchange ([`schedule_stages`]);
+//! * the **continuous router** (Sec. 5): decides the single-qubit movements
+//!   that transition the current layout *directly* into the next stage's
+//!   layout — no reversion to an initial layout — and groups them into
+//!   AOD-compatible collective moves ([`Router`], [`group_moves`]);
+//! * the **coll-move scheduler** (Sec. 6): orders collective moves to
+//!   maximize storage-zone dwell time and packs them onto multiple AOD
+//!   arrays ([`order_coll_moves`], [`pack_move_groups`]).
+//!
+//! [`PowerMoveCompiler`] ties the components together and produces a
+//! [`CompiledProgram`](powermove_schedule::CompiledProgram) that can be
+//! validated, timed and scored by `powermove-schedule` / `powermove-fidelity`.
+//!
+//! # Example
+//!
+//! ```
+//! use powermove::{CompilerConfig, PowerMoveCompiler};
+//! use powermove_circuit::{Circuit, Qubit};
+//! use powermove_hardware::Architecture;
+//! use powermove_fidelity::evaluate_program;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut circuit = Circuit::new(4);
+//! circuit.h(Qubit::new(0))?;
+//! circuit.cz(Qubit::new(0), Qubit::new(1))?;
+//! circuit.cz(Qubit::new(2), Qubit::new(3))?;
+//!
+//! let arch = Architecture::for_qubits(4);
+//! let compiler = PowerMoveCompiler::new(CompilerConfig::default());
+//! let program = compiler.compile(&circuit, &arch)?;
+//! let report = evaluate_program(&program)?;
+//! assert!(report.fidelity() > 0.9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod collmove;
+mod compiler;
+mod config;
+mod error;
+mod grouping;
+mod router;
+mod stage_partition;
+mod stage_schedule;
+mod stats;
+
+pub use collmove::{order_coll_moves, pack_move_groups};
+pub use compiler::PowerMoveCompiler;
+pub use config::CompilerConfig;
+pub use error::CompileError;
+pub use grouping::group_moves;
+pub use router::{Router, StageRouting};
+pub use stage_partition::{partition_stages, Stage};
+pub use stage_schedule::schedule_stages;
+pub use stats::CompilationSummary;

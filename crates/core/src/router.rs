@@ -1,0 +1,510 @@
+//! The continuous router (Sec. 5 of the paper).
+//!
+//! Given the current qubit layout and the next Rydberg stage, the router
+//! decides the single-qubit movements that transition the layout *directly*
+//! into a configuration where every CZ pair of the stage is co-located at a
+//! computation-zone site, non-interacting qubits are parked in the storage
+//! zone (with-storage mode) or left undisturbed (non-storage mode), and no
+//! unwanted clustering occurs. There is no reversion to a fixed initial
+//! layout between stages — that is precisely the improvement over Enola
+//! illustrated in Fig. 3 of the paper.
+
+use crate::{CompileError, Stage};
+use powermove_circuit::Qubit;
+use powermove_hardware::{Architecture, Point, SiteId, Zone};
+use powermove_schedule::{Layout, SiteMove};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The movement plan for one stage transition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StageRouting {
+    /// Moves that park non-interacting qubits in the storage zone.
+    pub storage_moves: Vec<SiteMove>,
+    /// Moves that bring interacting qubits to their interaction sites.
+    pub interaction_moves: Vec<SiteMove>,
+}
+
+impl StageRouting {
+    /// All moves of the stage transition, storage moves first.
+    #[must_use]
+    pub fn all_moves(&self) -> Vec<SiteMove> {
+        let mut all = self.storage_moves.clone();
+        all.extend(self.interaction_moves.iter().copied());
+        all
+    }
+
+    /// Total number of moved qubits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.storage_moves.len() + self.interaction_moves.len()
+    }
+
+    /// Returns `true` if the stage requires no movement.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.storage_moves.is_empty() && self.interaction_moves.is_empty()
+    }
+}
+
+/// The continuous router: owns the evolving qubit layout and produces, for
+/// each stage, the single-qubit movements of Sec. 5.2.
+#[derive(Debug, Clone)]
+pub struct Router {
+    arch: Architecture,
+    layout: Layout,
+    use_storage: bool,
+}
+
+impl Router {
+    /// Creates a router starting from `initial_layout`.
+    #[must_use]
+    pub fn new(arch: Architecture, initial_layout: Layout, use_storage: bool) -> Self {
+        Router {
+            arch,
+            layout: initial_layout,
+            use_storage,
+        }
+    }
+
+    /// The current qubit layout.
+    #[must_use]
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The target architecture.
+    #[must_use]
+    pub fn architecture(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// Plans the single-qubit movements that prepare the given stage and
+    /// applies them to the internal layout.
+    ///
+    /// The plan follows the three steps of Sec. 5.2:
+    ///
+    /// 1. non-interacting qubits currently in the computation zone move to
+    ///    the nearest free storage site (with-storage mode only), planned in
+    ///    descending order of their `y` coordinate;
+    /// 2. interacting qubits are labelled static / mobile / undecided
+    ///    according to the four zone cases of Fig. 4;
+    /// 3. undecided qubits (and their partners) are assigned the nearest
+    ///    free computation-zone site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::NoFreeSite`] if a zone runs out of free sites;
+    /// this cannot happen with the paper's default grid dimensions.
+    pub fn route_stage(&mut self, stage: &Stage) -> Result<StageRouting, CompileError> {
+        let grid = self.arch.grid().clone();
+        let interacting = stage.interacting_qubits();
+
+        // Planned occupancy after the transition: start from every placed
+        // qubit and update as movement decisions are made.
+        let mut planned: BTreeMap<SiteId, BTreeSet<Qubit>> = BTreeMap::new();
+        for (q, site) in self.layout.iter() {
+            planned.entry(site).or_default().insert(q);
+        }
+
+        let mut routing = StageRouting::default();
+
+        // Step 1 (non-storage mode): separate stale pairs. Two qubits left
+        // co-located from a previous stage that do not interact now would
+        // undergo an unwanted CZ during the next excitation, so one of them
+        // is relocated to the nearest free computation-zone site.
+        if !self.use_storage {
+            let stale: Vec<(Qubit, SiteId)> = self
+                .layout
+                .occupied_sites()
+                .filter(|(_, occupants)| {
+                    occupants.len() >= 2 && occupants.iter().all(|q| !interacting.contains(q))
+                })
+                .flat_map(|(site, occupants)| {
+                    occupants.iter().skip(1).map(move |&q| (q, site)).collect::<Vec<_>>()
+                })
+                .collect();
+            for (q, from) in stale {
+                planned.entry(from).or_default().remove(&q);
+                let from_pos = grid.position(from);
+                let target = self
+                    .nearest_free_site(&grid, &planned, from_pos, Zone::Compute)
+                    .ok_or(CompileError::NoFreeSite {
+                        qubit: q,
+                        zone: Zone::Compute,
+                    })?;
+                planned.entry(target).or_default().insert(q);
+                routing.storage_moves.push(SiteMove::new(q, from, target));
+            }
+        }
+
+        // Step 1: park non-interacting computation-zone qubits in storage.
+        // Qubits move vertically down into their own column whenever a free
+        // site exists there. Planning in descending order of the y
+        // coordinate — qubits farther from the storage zone choose first, as
+        // prescribed in Sec. 5.2 — lets the farthest qubit take the
+        // shallowest free row, which both shortens the longest move and
+        // preserves the relative row order of the parked qubits, so the
+        // parking moves typically fit in a single collective move.
+        if self.use_storage {
+            let mut to_park: Vec<(Qubit, SiteId, Point)> = self
+                .layout
+                .iter()
+                .filter(|(q, site)| {
+                    !interacting.contains(q) && grid.zone_of(*site) == Zone::Compute
+                })
+                .map(|(q, site)| (q, site, grid.position(site)))
+                .collect();
+            to_park.sort_by(|a, b| {
+                b.2.y
+                    .partial_cmp(&a.2.y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            for (q, from, from_pos) in to_park {
+                planned.entry(from).or_default().remove(&q);
+                let (col, _) = grid.col_row(from);
+                let same_column = (0..grid.storage_rows())
+                    .filter_map(|row| grid.site(Zone::Storage, col, row))
+                    .find(|s| {
+                        planned.get(s).map_or(0, BTreeSet::len) == 0
+                            && self.layout.occupancy(*s) == 0
+                    });
+                let target = same_column
+                    .or_else(|| self.nearest_free_site(&grid, &planned, from_pos, Zone::Storage))
+                    .ok_or(CompileError::NoFreeSite {
+                        qubit: q,
+                        zone: Zone::Storage,
+                    })?;
+                planned.entry(target).or_default().insert(q);
+                routing.storage_moves.push(SiteMove::new(q, from, target));
+            }
+        }
+
+        // Qubits that leave for the storage zone during this transition.
+        // Their collective moves are always scheduled before the interaction
+        // moves (Sec. 6.1 prioritizes move-ins), so a site they vacate can
+        // safely host an interaction afterwards — this is the Fig. 4(c)
+        // case 1 optimization.
+        let storage_movers: BTreeSet<Qubit> =
+            routing.storage_moves.iter().map(|m| m.qubit).collect();
+
+        // Step 2: label interacting qubits and decide direct moves.
+        // `pending` holds (anchor, mobile) pairs whose interaction site is
+        // resolved in step 3.
+        let mut pending: Vec<(Qubit, Qubit)> = Vec::new();
+        for gate in stage.gates() {
+            let a = gate.lo();
+            let b = gate.hi();
+            let sa = self
+                .layout
+                .site_of(a)
+                .expect("interacting qubit is placed");
+            let sb = self
+                .layout
+                .site_of(b)
+                .expect("interacting qubit is placed");
+            if sa == sb {
+                // Already co-located from the previous stage: both static.
+                continue;
+            }
+            let za = grid.zone_of(sa);
+            let zb = grid.zone_of(sb);
+
+            // Choose which qubit anchors the interaction site. A qubit can
+            // anchor (stay "static") only if its site hosts no third-party
+            // occupant: neither one that stays (which would cluster during
+            // the excitation) nor one that departs later in the transition
+            // (which would transiently overfill the trap site). Otherwise
+            // the gate's location is "undecided" and resolved in step 3.
+            let (mobile, anchor, anchor_site, mut anchor_moves) = match (za, zb) {
+                (Zone::Storage, Zone::Storage) => (a, b, sb, true),
+                (Zone::Storage, Zone::Compute) => (a, b, sb, false),
+                (Zone::Compute, Zone::Storage) => (b, a, sa, false),
+                (Zone::Compute, Zone::Compute) => {
+                    let blocked_a = self.is_blocked(&planned, &storage_movers, sa, a, b);
+                    let blocked_b = self.is_blocked(&planned, &storage_movers, sb, a, b);
+                    if !blocked_b {
+                        (a, b, sb, false)
+                    } else if !blocked_a {
+                        (b, a, sa, false)
+                    } else {
+                        (a, b, sb, true)
+                    }
+                }
+            };
+
+            // The mobile qubit leaves its current site in every case.
+            let mobile_site = if mobile == a { sa } else { sb };
+            planned.entry(mobile_site).or_default().remove(&mobile);
+
+            // An anchor whose site hosts another qubit must relocate
+            // (it becomes "undecided" in the paper's terminology).
+            if !anchor_moves
+                && self.is_blocked(&planned, &storage_movers, anchor_site, anchor, mobile)
+            {
+                anchor_moves = true;
+            }
+            // An anchor sitting in storage always has to move out.
+            if !anchor_moves && grid.zone_of(anchor_site) == Zone::Storage {
+                anchor_moves = true;
+            }
+
+            if anchor_moves {
+                planned.entry(anchor_site).or_default().remove(&anchor);
+                pending.push((anchor, mobile));
+            } else {
+                planned.entry(anchor_site).or_default().insert(mobile);
+                routing
+                    .interaction_moves
+                    .push(SiteMove::new(mobile, mobile_site, anchor_site));
+            }
+        }
+
+        // Step 3: resolve undecided qubits to the nearest free compute site.
+        for (anchor, mobile) in pending {
+            let anchor_from = self
+                .layout
+                .site_of(anchor)
+                .expect("interacting qubit is placed");
+            let mobile_from = self
+                .layout
+                .site_of(mobile)
+                .expect("interacting qubit is placed");
+            let anchor_pos = grid.position(anchor_from);
+            let target = self
+                .nearest_free_site(&grid, &planned, anchor_pos, Zone::Compute)
+                .ok_or(CompileError::NoFreeSite {
+                    qubit: anchor,
+                    zone: Zone::Compute,
+                })?;
+            planned.entry(target).or_default().insert(anchor);
+            planned.entry(target).or_default().insert(mobile);
+            routing
+                .interaction_moves
+                .push(SiteMove::new(anchor, anchor_from, target));
+            routing
+                .interaction_moves
+                .push(SiteMove::new(mobile, mobile_from, target));
+        }
+
+        // Apply the transition to the internal layout.
+        for m in routing.all_moves() {
+            self.layout.move_qubit(m.qubit, m.to);
+        }
+        Ok(routing)
+    }
+
+    /// Returns `true` if `site` cannot serve as a static interaction site
+    /// for the excluded pair.
+    ///
+    /// Two kinds of third-party occupants block a site: qubits planned to
+    /// remain there after the transition (they would cluster with the pair
+    /// during the excitation), and qubits still physically present that
+    /// depart later within the same transition (an early arrival would
+    /// transiently overfill the trap site). Occupants that leave for the
+    /// storage zone do *not* block — their collective moves are scheduled
+    /// ahead of every interaction move (Fig. 4(c) case 1 of the paper).
+    fn is_blocked(
+        &self,
+        planned: &BTreeMap<SiteId, BTreeSet<Qubit>>,
+        storage_movers: &BTreeSet<Qubit>,
+        site: SiteId,
+        exclude_a: Qubit,
+        exclude_b: Qubit,
+    ) -> bool {
+        let planned_blocker = planned
+            .get(&site)
+            .is_some_and(|set| set.iter().any(|&q| q != exclude_a && q != exclude_b));
+        let current_blocker = self
+            .layout
+            .occupants(site)
+            .iter()
+            .any(|&q| q != exclude_a && q != exclude_b && !storage_movers.contains(&q));
+        planned_blocker || current_blocker
+    }
+
+    /// Finds the free site of `zone` nearest to `from`.
+    ///
+    /// A site is free when nothing is planned to occupy it after the
+    /// transition. Sites that are also empty *before* the transition are
+    /// preferred, which avoids transient three-atom occupancies while a
+    /// previous occupant is still waiting for its own collective move.
+    /// Ties are broken by site index, keeping the router deterministic.
+    fn nearest_free_site(
+        &self,
+        grid: &powermove_hardware::ZonedGrid,
+        planned: &BTreeMap<SiteId, BTreeSet<Qubit>>,
+        from: Point,
+        zone: Zone,
+    ) -> Option<SiteId> {
+        let candidates = |also_currently_empty: bool| {
+            grid.sites_in(zone)
+                .filter(move |s| {
+                    planned.get(s).map_or(0, BTreeSet::len) == 0
+                        && (!also_currently_empty || self.layout.occupancy(*s) == 0)
+                })
+                .min_by(|&x, &y| {
+                    let dx = grid.position(x).distance(from);
+                    let dy = grid.position(y).distance(from);
+                    dx.partial_cmp(&dy)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(x.cmp(&y))
+                })
+        };
+        candidates(true).or_else(|| candidates(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::CzGate;
+    use powermove_hardware::Architecture;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn stage(edges: &[(u32, u32)]) -> Stage {
+        Stage::new(edges.iter().map(|&(a, b)| CzGate::new(q(a), q(b))).collect())
+    }
+
+    fn storage_router(n: u32) -> Router {
+        let arch = Architecture::for_qubits(n);
+        let layout = Layout::row_major(&arch, n, Zone::Storage).unwrap();
+        Router::new(arch, layout, true)
+    }
+
+    fn compute_router(n: u32) -> Router {
+        let arch = Architecture::for_qubits(n);
+        let layout = Layout::row_major(&arch, n, Zone::Compute).unwrap();
+        Router::new(arch, layout, false)
+    }
+
+    /// After routing a stage, every gate pair must share a computation-zone
+    /// site and no site may hold unrelated qubit groups.
+    fn assert_stage_ready(router: &Router, stage: &Stage) {
+        let grid = router.architecture().grid();
+        for gate in stage.gates() {
+            let sa = router.layout().site_of(gate.lo()).unwrap();
+            let sb = router.layout().site_of(gate.hi()).unwrap();
+            assert_eq!(sa, sb, "pair {gate} not co-located");
+            assert_eq!(grid.zone_of(sa), Zone::Compute);
+        }
+        for (site, occupants) in router.layout().occupied_sites() {
+            assert!(occupants.len() <= 2, "site {site} overcrowded");
+            if occupants.len() == 2 && grid.zone_of(site) == Zone::Compute {
+                let pair_ok = stage.gates().iter().any(|g| {
+                    (g.lo() == occupants[0] && g.hi() == occupants[1])
+                        || (g.lo() == occupants[1] && g.hi() == occupants[0])
+                });
+                assert!(pair_ok, "unrelated qubits clustered at {site}");
+            }
+        }
+    }
+
+    #[test]
+    fn storage_pairs_move_to_compute() {
+        let mut router = storage_router(6);
+        let st = stage(&[(0, 1), (2, 3)]);
+        let routing = router.route_stage(&st).unwrap();
+        assert_stage_ready(&router, &st);
+        // Both pairs started in storage: four interaction moves, no storage
+        // moves (non-interacting qubits were already in storage).
+        assert!(routing.storage_moves.is_empty());
+        assert_eq!(routing.interaction_moves.len(), 4);
+    }
+
+    #[test]
+    fn non_interacting_qubits_return_to_storage() {
+        let mut router = storage_router(6);
+        let first = stage(&[(0, 1), (2, 3)]);
+        router.route_stage(&first).unwrap();
+        // Next stage uses only qubits 4 and 5: qubits 0-3 must be parked.
+        let second = stage(&[(4, 5)]);
+        let routing = router.route_stage(&second).unwrap();
+        assert_stage_ready(&router, &second);
+        assert_eq!(routing.storage_moves.len(), 4);
+        let grid = router.architecture().grid();
+        for i in 0..4 {
+            let site = router.layout().site_of(q(i)).unwrap();
+            assert_eq!(grid.zone_of(site), Zone::Storage);
+        }
+    }
+
+    #[test]
+    fn consecutive_stages_reuse_layout_without_reverting() {
+        let mut router = storage_router(6);
+        let first = stage(&[(0, 1), (2, 3), (4, 5)]);
+        router.route_stage(&first).unwrap();
+        // Second stage re-pairs overlapping qubits (the Fig. 3 example).
+        let second = stage(&[(1, 2), (3, 4)]);
+        let routing = router.route_stage(&second).unwrap();
+        assert_stage_ready(&router, &second);
+        // Qubits 0 and 5 are non-interacting and go to storage; the other
+        // four re-pair directly without reverting to the initial layout.
+        assert_eq!(routing.storage_moves.len(), 2);
+        assert!(routing.interaction_moves.len() <= 6);
+    }
+
+    #[test]
+    fn already_colocated_pair_does_not_move() {
+        let mut router = storage_router(4);
+        let st = stage(&[(0, 1)]);
+        router.route_stage(&st).unwrap();
+        let moves_first = router.layout().site_of(q(0)).unwrap();
+        // Re-running the same pair requires no interaction moves.
+        let routing = router.route_stage(&st).unwrap();
+        assert!(routing.interaction_moves.is_empty());
+        assert_eq!(router.layout().site_of(q(0)).unwrap(), moves_first);
+    }
+
+    #[test]
+    fn non_storage_mode_keeps_everything_in_compute() {
+        let mut router = compute_router(9);
+        let st = stage(&[(0, 1), (2, 3), (4, 5)]);
+        let routing = router.route_stage(&st).unwrap();
+        assert_stage_ready(&router, &st);
+        assert!(routing.storage_moves.is_empty());
+        let grid = router.architecture().grid();
+        for (_, site) in router.layout().iter() {
+            assert_eq!(grid.zone_of(site), Zone::Compute);
+        }
+    }
+
+    #[test]
+    fn non_storage_mode_resolves_blocked_anchors() {
+        let mut router = compute_router(9);
+        // Pair the row 0 neighbours first.
+        router.route_stage(&stage(&[(0, 1), (2, 3)])).unwrap();
+        // Now pair across the previous pairs, forcing relocations.
+        let st = stage(&[(1, 2), (0, 3)]);
+        let routing = router.route_stage(&st).unwrap();
+        assert_stage_ready(&router, &st);
+        assert!(!routing.is_empty());
+    }
+
+    #[test]
+    fn chain_of_stages_stays_consistent() {
+        let mut router = storage_router(10);
+        let stages = [
+            stage(&[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]),
+            stage(&[(1, 2), (3, 4), (5, 6), (7, 8)]),
+            stage(&[(0, 9), (2, 5)]),
+            stage(&[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]),
+        ];
+        for st in &stages {
+            router.route_stage(st).unwrap();
+            assert_stage_ready(&router, st);
+        }
+    }
+
+    #[test]
+    fn routing_len_and_all_moves_agree() {
+        let mut router = storage_router(6);
+        let st = stage(&[(0, 1)]);
+        let routing = router.route_stage(&st).unwrap();
+        assert_eq!(routing.all_moves().len(), routing.len());
+        assert!(!routing.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Stage partition: optimized edge colouring of the CZ interaction graph
+//! (Algorithm 1 of the paper, Sec. 4.1).
+
+use powermove_circuit::{CzBlock, CzGate, GateConflictGraph, Qubit};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One Rydberg stage: a set of CZ gates acting on pairwise-disjoint qubits,
+/// executable under a single global Rydberg excitation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Stage {
+    gates: Vec<CzGate>,
+}
+
+impl Stage {
+    /// Creates a stage from gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two gates share a qubit (the defining property of a stage).
+    #[must_use]
+    pub fn new(gates: Vec<CzGate>) -> Self {
+        let mut seen = BTreeSet::new();
+        for g in &gates {
+            for q in g.qubits() {
+                assert!(seen.insert(q), "stage gates must act on disjoint qubits");
+            }
+        }
+        Stage { gates }
+    }
+
+    /// The gates of the stage.
+    #[must_use]
+    pub fn gates(&self) -> &[CzGate] {
+        &self.gates
+    }
+
+    /// Number of gates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the stage has no gates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The set of qubits that interact during this stage (`Q_i` in Sec. 4.2).
+    #[must_use]
+    pub fn interacting_qubits(&self) -> BTreeSet<Qubit> {
+        self.gates.iter().flat_map(|g| g.qubits()).collect()
+    }
+
+    /// Returns `true` if qubit `q` interacts in this stage.
+    #[must_use]
+    pub fn involves(&self, q: Qubit) -> bool {
+        self.gates.iter().any(|g| g.acts_on(q))
+    }
+}
+
+/// Partitions a commuting CZ block into Rydberg stages using the optimized
+/// greedy edge colouring of Algorithm 1: gates (vertices of the conflict
+/// graph) are coloured in descending-degree order with the smallest available
+/// colour; each colour class becomes one stage.
+///
+/// The number of stages is at most `max_degree + 1` of the conflict graph,
+/// and equals the block's maximum qubit degree for the common benchmark
+/// structures (paths, matchings, stars).
+#[must_use]
+pub fn partition_stages(block: &CzBlock) -> Vec<Stage> {
+    let graph = GateConflictGraph::from_block(block);
+    let n = graph.num_gates();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(graph.degree(i)));
+
+    let mut color = vec![usize::MAX; n];
+    let mut num_colors = 0;
+    for &v in &order {
+        let mut available = vec![true; num_colors + 1];
+        for &u in graph.conflicts(v) {
+            if color[u] != usize::MAX && color[u] < available.len() {
+                available[color[u]] = false;
+            }
+        }
+        let c = available
+            .iter()
+            .position(|&a| a)
+            .expect("a free colour always exists among degree+1 candidates");
+        color[v] = c;
+        num_colors = num_colors.max(c + 1);
+    }
+
+    let mut stages: Vec<Vec<CzGate>> = vec![Vec::new(); num_colors];
+    for (v, &c) in color.iter().enumerate() {
+        stages[c].push(graph.gate(v));
+    }
+    stages.into_iter().map(Stage::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::CzBlock;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn block(edges: &[(u32, u32)]) -> CzBlock {
+        CzBlock::from_gates(edges.iter().map(|&(a, b)| CzGate::new(q(a), q(b))).collect())
+    }
+
+    #[test]
+    fn matching_fits_in_one_stage() {
+        let stages = partition_stages(&block(&[(0, 1), (2, 3), (4, 5)]));
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].len(), 3);
+    }
+
+    #[test]
+    fn path_needs_two_stages() {
+        let stages = partition_stages(&block(&[(0, 1), (1, 2), (2, 3), (3, 4)]));
+        assert_eq!(stages.len(), 2);
+        let total: usize = stages.iter().map(Stage::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn star_needs_degree_stages() {
+        let stages = partition_stages(&block(&[(0, 1), (0, 2), (0, 3), (0, 4)]));
+        assert_eq!(stages.len(), 4);
+        assert!(stages.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn every_stage_has_disjoint_qubits() {
+        let stages = partition_stages(&block(&[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 0),
+            (0, 2),
+            (1, 3),
+        ]));
+        for s in &stages {
+            let qs = s.interacting_qubits();
+            assert_eq!(qs.len(), 2 * s.len());
+        }
+        let total: usize = stages.iter().map(Stage::len).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn empty_block_gives_no_stages() {
+        assert!(partition_stages(&CzBlock::new()).is_empty());
+    }
+
+    #[test]
+    fn stage_accessors() {
+        let s = Stage::new(vec![CzGate::new(q(0), q(1))]);
+        assert!(!s.is_empty());
+        assert!(s.involves(q(0)));
+        assert!(!s.involves(q(2)));
+        assert_eq!(s.interacting_qubits().len(), 2);
+        assert!(Stage::default().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn stage_rejects_overlapping_gates() {
+        let _ = Stage::new(vec![CzGate::new(q(0), q(1)), CzGate::new(q(1), q(2))]);
+    }
+
+    #[test]
+    fn ring_with_chords_stays_near_optimal() {
+        // 3-regular graph on 6 vertices (prism): chromatic index 3.
+        let stages = partition_stages(&block(&[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (0, 3),
+            (1, 4),
+            (2, 5),
+        ]));
+        assert!(stages.len() <= 4, "got {} stages", stages.len());
+        let total: usize = stages.iter().map(Stage::len).sum();
+        assert_eq!(total, 9);
+    }
+}

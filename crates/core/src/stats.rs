@@ -1,0 +1,173 @@
+//! Compilation statistics: a structured summary of a compiled program.
+//!
+//! The experiment harness and the `diagnostics` binary report these numbers;
+//! they are also convenient assertions targets for tests and ablations.
+
+use powermove_hardware::Zone;
+use powermove_schedule::{CompiledProgram, Instruction};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate statistics of a compiled program's movement schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CompilationSummary {
+    /// Number of Rydberg stages.
+    pub rydberg_stages: usize,
+    /// Number of CZ gates executed.
+    pub cz_gates: usize,
+    /// Number of single-qubit gates executed.
+    pub one_qubit_gates: usize,
+    /// Number of move-group instructions (sequential movement steps).
+    pub move_groups: usize,
+    /// Number of collective moves across all groups.
+    pub coll_moves: usize,
+    /// Number of moved qubits (one per single-qubit move).
+    pub moved_qubits: usize,
+    /// Moves whose destination lies in the storage zone.
+    pub moves_into_storage: usize,
+    /// Moves whose source lies in the storage zone.
+    pub moves_out_of_storage: usize,
+    /// Number of SLM↔AOD transfers (two per moved qubit).
+    pub transfers: usize,
+    /// Total movement distance in meters.
+    pub total_move_distance: f64,
+    /// Longest single move in meters.
+    pub max_move_distance: f64,
+    /// Mean number of single-qubit moves per collective move.
+    pub mean_moves_per_coll_move: f64,
+}
+
+impl CompilationSummary {
+    /// Computes the summary of a compiled program.
+    #[must_use]
+    pub fn of(program: &CompiledProgram) -> Self {
+        let arch = program.architecture();
+        let grid = arch.grid();
+        let mut summary = CompilationSummary {
+            rydberg_stages: program.rydberg_stage_count(),
+            cz_gates: program.cz_gate_count(),
+            one_qubit_gates: program.one_qubit_gate_count(),
+            move_groups: program.move_group_count(),
+            coll_moves: program.coll_move_count(),
+            transfers: program.transfer_count(),
+            ..CompilationSummary::default()
+        };
+        for instruction in program.instructions() {
+            let Instruction::MoveGroup { coll_moves } = instruction else {
+                continue;
+            };
+            for cm in coll_moves {
+                for m in &cm.moves {
+                    summary.moved_qubits += 1;
+                    let d = m.distance(arch);
+                    summary.total_move_distance += d;
+                    summary.max_move_distance = summary.max_move_distance.max(d);
+                    if grid.zone_of(m.to) == Zone::Storage {
+                        summary.moves_into_storage += 1;
+                    }
+                    if grid.zone_of(m.from) == Zone::Storage {
+                        summary.moves_out_of_storage += 1;
+                    }
+                }
+            }
+        }
+        summary.mean_moves_per_coll_move = if summary.coll_moves == 0 {
+            0.0
+        } else {
+            summary.moved_qubits as f64 / summary.coll_moves as f64
+        };
+        summary
+    }
+}
+
+impl fmt::Display for CompilationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} stages, {} cz, {} moves in {} coll-moves / {} groups ({:.1} moves per coll-move), \
+             {} into storage, {} out of storage, {:.0} um travelled",
+            self.rydberg_stages,
+            self.cz_gates,
+            self.moved_qubits,
+            self.coll_moves,
+            self.move_groups,
+            self.mean_moves_per_coll_move,
+            self.moves_into_storage,
+            self.moves_out_of_storage,
+            self.total_move_distance * 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompilerConfig, PowerMoveCompiler};
+    use powermove_circuit::{Circuit, Qubit};
+    use powermove_hardware::Architecture;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn ring(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.cz(q(i), q((i + 1) % n)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn summary_matches_program_counters() {
+        let arch = Architecture::for_qubits(8);
+        let program = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&ring(8), &arch)
+            .unwrap();
+        let s = CompilationSummary::of(&program);
+        assert_eq!(s.rydberg_stages, program.rydberg_stage_count());
+        assert_eq!(s.cz_gates, 8);
+        assert_eq!(s.transfers, program.transfer_count());
+        assert_eq!(s.transfers, 2 * s.moved_qubits);
+        assert!(s.total_move_distance > 0.0);
+        assert!(s.max_move_distance <= s.total_move_distance);
+        assert!(s.mean_moves_per_coll_move >= 1.0);
+    }
+
+    #[test]
+    fn storage_mode_reports_inter_zone_moves() {
+        let arch = Architecture::for_qubits(8);
+        let with = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&ring(8), &arch)
+            .unwrap();
+        let without = PowerMoveCompiler::new(CompilerConfig::without_storage())
+            .compile(&ring(8), &arch)
+            .unwrap();
+        let s_with = CompilationSummary::of(&with);
+        let s_without = CompilationSummary::of(&without);
+        assert!(s_with.moves_out_of_storage > 0);
+        assert_eq!(s_without.moves_into_storage, 0);
+        assert_eq!(s_without.moves_out_of_storage, 0);
+    }
+
+    #[test]
+    fn empty_program_summary_is_zeroed() {
+        let arch = Architecture::for_qubits(4);
+        let program = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&Circuit::new(4), &arch)
+            .unwrap();
+        let s = CompilationSummary::of(&program);
+        assert_eq!(s, CompilationSummary::default());
+    }
+
+    #[test]
+    fn display_mentions_key_counts() {
+        let arch = Architecture::for_qubits(6);
+        let program = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&ring(6), &arch)
+            .unwrap();
+        let text = CompilationSummary::of(&program).to_string();
+        assert!(text.contains("stages"));
+        assert!(text.contains("storage"));
+    }
+}

@@ -1,0 +1,235 @@
+//! The end-to-end Enola-style compilation pipeline.
+
+use crate::{partition_stages_mis, RevertRouter};
+use powermove_circuit::{BlockProgram, Circuit, Segment};
+use powermove_hardware::{AodId, Architecture, HardwareError, Zone};
+use powermove_schedule::{CollMove, CompileMetadata, CompiledProgram, Instruction, Layout};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of the Enola baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnolaConfig {
+    /// Node budget of the branch-and-bound MIS solver used per stage
+    /// extraction. Larger budgets produce (provably) larger stages at the
+    /// cost of compilation time, mimicking the solver-based scheduling of
+    /// the original implementation.
+    pub mis_node_budget: usize,
+}
+
+impl Default for EnolaConfig {
+    fn default() -> Self {
+        EnolaConfig {
+            mis_node_budget: 200_000,
+        }
+    }
+}
+
+/// The Enola-style baseline compiler: MIS-based stage scheduling, fixed
+/// initial layout and revert-to-initial movement, no storage zone.
+#[derive(Debug, Clone, Default)]
+pub struct EnolaCompiler {
+    config: EnolaConfig,
+}
+
+impl EnolaCompiler {
+    /// Creates a compiler with the given configuration.
+    #[must_use]
+    pub fn new(config: EnolaConfig) -> Self {
+        EnolaCompiler { config }
+    }
+
+    /// The compiler configuration.
+    #[must_use]
+    pub fn config(&self) -> &EnolaConfig {
+        &self.config
+    }
+
+    /// Compiles a circuit for the given architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardwareError::InsufficientCapacity`] if the computation
+    /// zone cannot hold every qubit.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, HardwareError> {
+        let start = Instant::now();
+        let n = circuit.num_qubits();
+        if arch.grid().num_compute_sites() < n as usize {
+            return Err(HardwareError::InsufficientCapacity {
+                qubits: n,
+                sites: arch.grid().num_compute_sites(),
+            });
+        }
+
+        let block_program = BlockProgram::from_circuit(circuit);
+        let initial_layout = Layout::row_major(arch, n, Zone::Compute).map_err(|_| {
+            HardwareError::InsufficientCapacity {
+                qubits: n,
+                sites: arch.grid().num_compute_sites(),
+            }
+        })?;
+        let router = RevertRouter::new(arch.clone(), initial_layout.clone());
+
+        let mut instructions: Vec<Instruction> = Vec::new();
+        let mut num_stages = 0_usize;
+
+        for segment in block_program.segments() {
+            match segment {
+                Segment::OneQubit(layer) => {
+                    instructions.push(Instruction::one_qubit_layer(layer.gates().to_vec()));
+                }
+                Segment::Cz(block) => {
+                    let stages = partition_stages_mis(block, self.config.mis_node_budget);
+                    for stage in stages {
+                        let forward = router.forward_moves(&stage);
+                        let reverse = router.reverse_moves(&forward);
+                        instructions
+                            .extend(pack(router.group_moves(&forward), arch.num_aods()));
+                        instructions.push(Instruction::rydberg(stage));
+                        instructions
+                            .extend(pack(router.group_moves(&reverse), arch.num_aods()));
+                        num_stages += 1;
+                    }
+                }
+            }
+        }
+
+        let metadata = CompileMetadata {
+            compiler: "enola".to_string(),
+            compile_time: Some(start.elapsed().as_secs_f64()),
+            uses_storage: false,
+            num_stages,
+        };
+        Ok(
+            CompiledProgram::new(arch.clone(), n, initial_layout, instructions)
+                .with_metadata(metadata),
+        )
+    }
+}
+
+/// Packs ordered collective-move groups onto the available AOD arrays.
+fn pack(groups: Vec<Vec<powermove_schedule::SiteMove>>, num_aods: usize) -> Vec<Instruction> {
+    let width = num_aods.max(1);
+    groups
+        .chunks(width)
+        .map(|chunk| {
+            Instruction::move_group(
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(i, moves)| CollMove::new(AodId::new(i), moves.clone()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::Qubit;
+    use powermove_fidelity::evaluate_program;
+    use powermove_schedule::validate;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn ring_circuit(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.h(q(i)).unwrap();
+        }
+        for i in 0..n {
+            c.cz(q(i), q((i + 1) % n)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn compiled_ring_is_valid() {
+        let circuit = ring_circuit(8);
+        let arch = Architecture::for_qubits(8);
+        let p = EnolaCompiler::default().compile(&circuit, &arch).unwrap();
+        assert!(validate(&p).is_ok());
+        assert_eq!(p.cz_gate_count(), 8);
+        assert!(!p.metadata().uses_storage);
+        assert_eq!(p.metadata().compiler, "enola");
+    }
+
+    #[test]
+    fn movement_reverts_to_initial_layout() {
+        let circuit = ring_circuit(6);
+        let arch = Architecture::for_qubits(6);
+        let p = EnolaCompiler::default().compile(&circuit, &arch).unwrap();
+        let trace = powermove_schedule::simulate(&p).unwrap();
+        // After the program, every qubit is back at its initial site.
+        for i in 0..6 {
+            assert_eq!(
+                trace.final_layout.site_of(q(i)),
+                p.initial_layout().site_of(q(i))
+            );
+        }
+    }
+
+    #[test]
+    fn idle_qubits_are_exposed_to_every_excitation() {
+        // Qubits 4..8 never interact but sit in the computation zone.
+        let mut circuit = Circuit::new(8);
+        circuit.cz(q(0), q(1)).unwrap();
+        circuit.cz(q(2), q(3)).unwrap();
+        let arch = Architecture::for_qubits(8);
+        let p = EnolaCompiler::default().compile(&circuit, &arch).unwrap();
+        let report = evaluate_program(&p).unwrap();
+        assert_eq!(report.trace.rydberg_stage_count, 1);
+        assert_eq!(report.trace.excitation_exposure, 4);
+        assert!(report.breakdown.excitation < 1.0);
+    }
+
+    #[test]
+    fn transfer_count_doubles_versus_one_way_movement() {
+        // One stage with one moved qubit: forward + reverse = 2 moves,
+        // 2 transfers each.
+        let mut circuit = Circuit::new(4);
+        circuit.cz(q(0), q(1)).unwrap();
+        let arch = Architecture::for_qubits(4);
+        let p = EnolaCompiler::default().compile(&circuit, &arch).unwrap();
+        assert_eq!(p.transfer_count(), 4);
+    }
+
+    #[test]
+    fn capacity_error_for_tiny_grid() {
+        let circuit = ring_circuit(10);
+        let arch = Architecture::for_qubits(10)
+            .with_grid(powermove_hardware::ZonedGrid::with_dims(2, 2, 4).unwrap());
+        assert!(EnolaCompiler::default().compile(&circuit, &arch).is_err());
+    }
+
+    #[test]
+    fn one_qubit_gates_preserved() {
+        let circuit = ring_circuit(5);
+        let arch = Architecture::for_qubits(5);
+        let p = EnolaCompiler::default().compile(&circuit, &arch).unwrap();
+        assert_eq!(p.one_qubit_gate_count(), 5);
+    }
+
+    #[test]
+    fn multi_aod_packing_is_valid() {
+        let circuit = ring_circuit(9);
+        let arch = Architecture::for_qubits(9).with_num_aods(3);
+        let p = EnolaCompiler::default().compile(&circuit, &arch).unwrap();
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn empty_circuit_gives_empty_program() {
+        let circuit = Circuit::new(3);
+        let arch = Architecture::for_qubits(3);
+        let p = EnolaCompiler::default().compile(&circuit, &arch).unwrap();
+        assert_eq!(p.num_instructions(), 0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Parameter sensitivity analysis.
+//!
+//! The fidelity estimate of Eq. (1) depends on hardware parameters that are
+//! still improving rapidly (CZ fidelity, coherence time, transfer fidelity).
+//! This module re-evaluates a fixed execution trace under perturbed
+//! parameters, which answers questions like "how much of PowerMove's
+//! advantage survives if T2 doubles?" without recompiling the program.
+
+use crate::{evaluate_trace, FidelityBreakdown};
+use powermove_hardware::PhysicalParams;
+use powermove_schedule::ExecutionTrace;
+use serde::{Deserialize, Serialize};
+
+/// A named single-parameter perturbation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParameterAxis {
+    /// Scale the CZ-gate infidelity `1 − f2` by the factor.
+    CzInfidelity,
+    /// Scale the excitation infidelity `1 − f_exc` by the factor.
+    ExcitationInfidelity,
+    /// Scale the transfer infidelity `1 − f_trans` by the factor.
+    TransferInfidelity,
+    /// Scale the coherence time `T2` by the factor.
+    CoherenceTime,
+}
+
+impl ParameterAxis {
+    /// All axes, in a fixed report order.
+    pub const ALL: [ParameterAxis; 4] = [
+        ParameterAxis::CzInfidelity,
+        ParameterAxis::ExcitationInfidelity,
+        ParameterAxis::TransferInfidelity,
+        ParameterAxis::CoherenceTime,
+    ];
+
+    /// Applies the perturbation `factor` to a copy of `params`.
+    ///
+    /// For the infidelity axes a factor of 0.5 means "half the error"; for
+    /// [`ParameterAxis::CoherenceTime`] a factor of 2.0 means "twice the
+    /// coherence time". Fidelities are clamped to `[0, 1]`.
+    #[must_use]
+    pub fn apply(self, params: &PhysicalParams, factor: f64) -> PhysicalParams {
+        let mut p = *params;
+        let scale_infidelity = |f: f64| (1.0 - (1.0 - f) * factor).clamp(0.0, 1.0);
+        match self {
+            ParameterAxis::CzInfidelity => p.cz_fidelity = scale_infidelity(p.cz_fidelity),
+            ParameterAxis::ExcitationInfidelity => {
+                p.excitation_fidelity = scale_infidelity(p.excitation_fidelity);
+            }
+            ParameterAxis::TransferInfidelity => {
+                p.transfer_fidelity = scale_infidelity(p.transfer_fidelity);
+            }
+            ParameterAxis::CoherenceTime => p.coherence_time *= factor,
+        }
+        p
+    }
+}
+
+/// One point of a sensitivity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// The perturbed axis.
+    pub axis: ParameterAxis,
+    /// The applied factor.
+    pub factor: f64,
+    /// The resulting fidelity breakdown.
+    pub breakdown: FidelityBreakdown,
+}
+
+/// Re-evaluates a trace while sweeping one parameter axis over the given
+/// factors.
+///
+/// # Example
+///
+/// ```
+/// use powermove_fidelity::{sensitivity_sweep, ParameterAxis};
+/// use powermove_hardware::{Architecture, PhysicalParams, Zone};
+/// use powermove_schedule::{simulate, CompiledProgram, Layout};
+///
+/// let arch = Architecture::for_qubits(2);
+/// let layout = Layout::row_major(&arch, 2, Zone::Compute).unwrap();
+/// let program = CompiledProgram::new(arch, 2, layout, vec![]);
+/// let trace = simulate(&program).unwrap();
+/// let sweep = sensitivity_sweep(
+///     &trace,
+///     &PhysicalParams::default(),
+///     ParameterAxis::CoherenceTime,
+///     &[1.0, 2.0],
+/// );
+/// assert_eq!(sweep.len(), 2);
+/// ```
+#[must_use]
+pub fn sensitivity_sweep(
+    trace: &ExecutionTrace,
+    params: &PhysicalParams,
+    axis: ParameterAxis,
+    factors: &[f64],
+) -> Vec<SensitivityPoint> {
+    factors
+        .iter()
+        .map(|&factor| SensitivityPoint {
+            axis,
+            factor,
+            breakdown: evaluate_trace(trace, &axis.apply(params, factor)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_schedule::Layout;
+
+    fn trace_with(cz: usize, exposure: usize, transfers: usize, idle: f64) -> ExecutionTrace {
+        ExecutionTrace {
+            total_time: idle,
+            cz_gate_count: cz,
+            one_qubit_gate_count: 0,
+            transfer_count: transfers,
+            excitation_exposure: exposure,
+            rydberg_stage_count: 1,
+            move_group_count: 0,
+            coll_move_count: 0,
+            total_move_distance: 0.0,
+            max_move_distance: 0.0,
+            movement_time: 0.0,
+            idle_time: vec![idle],
+            storage_time: vec![0.0],
+            final_layout: Layout::empty(1),
+        }
+    }
+
+    #[test]
+    fn halving_cz_infidelity_improves_two_qubit_factor() {
+        let params = PhysicalParams::default();
+        let trace = trace_with(100, 0, 0, 0.0);
+        let sweep = sensitivity_sweep(&trace, &params, ParameterAxis::CzInfidelity, &[1.0, 0.5]);
+        assert!(sweep[1].breakdown.two_qubit > sweep[0].breakdown.two_qubit);
+        // Other factors are untouched.
+        assert_eq!(sweep[1].breakdown.transfer, sweep[0].breakdown.transfer);
+    }
+
+    #[test]
+    fn doubling_coherence_time_halves_decoherence_loss() {
+        let params = PhysicalParams::default();
+        let trace = trace_with(0, 0, 0, 0.15);
+        let sweep =
+            sensitivity_sweep(&trace, &params, ParameterAxis::CoherenceTime, &[1.0, 2.0]);
+        let loss1 = 1.0 - sweep[0].breakdown.decoherence;
+        let loss2 = 1.0 - sweep[1].breakdown.decoherence;
+        assert!((loss2 - loss1 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn excitation_and_transfer_axes_target_their_factor() {
+        let params = PhysicalParams::default();
+        let trace = trace_with(0, 50, 40, 0.0);
+        let exc = sensitivity_sweep(
+            &trace,
+            &params,
+            ParameterAxis::ExcitationInfidelity,
+            &[0.0],
+        );
+        assert_eq!(exc[0].breakdown.excitation, 1.0);
+        let trans =
+            sensitivity_sweep(&trace, &params, ParameterAxis::TransferInfidelity, &[0.0]);
+        assert_eq!(trans[0].breakdown.transfer, 1.0);
+    }
+
+    #[test]
+    fn factor_one_reproduces_baseline() {
+        let params = PhysicalParams::default();
+        let trace = trace_with(10, 5, 4, 0.01);
+        let baseline = evaluate_trace(&trace, &params);
+        for axis in ParameterAxis::ALL {
+            let sweep = sensitivity_sweep(&trace, &params, axis, &[1.0]);
+            assert_eq!(sweep[0].breakdown, baseline, "{axis:?}");
+        }
+    }
+
+    #[test]
+    fn fidelities_stay_clamped() {
+        let params = PhysicalParams::default();
+        let p = ParameterAxis::CzInfidelity.apply(&params, 1e6);
+        assert!(p.cz_fidelity >= 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Neutral-atom hardware model for the PowerMove compiler.
+//!
+//! This crate models the aspects of zoned neutral-atom quantum computers
+//! (NAQCs) that the compiler must reason about (Sec. 2.1 of the paper):
+//!
+//! * physical operation fidelities and durations ([`PhysicalParams`],
+//!   Table 1 of the paper),
+//! * the zoned 2D site geometry — a computation zone and a storage zone
+//!   separated by an inter-zone gap ([`ZonedGrid`], [`Zone`], [`SiteId`]),
+//! * qubit movement physics and the AOD collective-movement constraints
+//!   ([`TrapMove`], [`move_duration`], [`validate_collective_move`]),
+//! * the overall machine description handed to compilers
+//!   ([`Architecture`]).
+//!
+//! # Example
+//!
+//! ```
+//! use powermove_hardware::{Architecture, Zone};
+//!
+//! let arch = Architecture::for_qubits(30);
+//! // 30 qubits -> ceil(sqrt(30)) = 6 columns, 6 compute rows, 12 storage rows.
+//! assert_eq!(arch.grid().num_compute_sites(), 36);
+//! assert_eq!(arch.grid().num_storage_sites(), 72);
+//! let (w, h) = arch.grid().zone_size_um(Zone::Compute);
+//! assert_eq!((w, h), (90.0, 90.0));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod arch;
+mod error;
+mod geometry;
+mod movement;
+mod params;
+mod zones;
+
+pub use arch::Architecture;
+pub use error::HardwareError;
+pub use geometry::{Point, SiteId};
+pub use movement::{move_duration, validate_collective_move, AodId, TrapMove};
+pub use params::PhysicalParams;
+pub use zones::{Zone, ZonedGrid};

@@ -1,0 +1,284 @@
+//! Qubit movement physics and AOD collective-movement constraints.
+//!
+//! Qubits are moved by transferring them from static SLM traps into a mobile
+//! AOD lattice, translating the lattice, and dropping them back into SLM
+//! traps (Sec. 2.1). All moves executed by one AOD in a single collective
+//! move must preserve the relative order of rows and columns: the lattice can
+//! stretch and contract but rows/columns cannot cross or merge (Fig. 2(c) and
+//! Fig. 5 of the paper).
+
+use crate::{HardwareError, Point};
+use powermove_circuit::Qubit;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Identifier of an AOD array.
+///
+/// NAQC hardware may drive several independently-operating AOD arrays;
+/// conflicting moves can be executed in parallel if they are assigned to
+/// different arrays (Sec. 6.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct AodId(usize);
+
+impl AodId {
+    /// Creates an AOD identifier.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        AodId(index)
+    }
+
+    /// The dense index of the AOD array.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aod{}", self.0)
+    }
+}
+
+/// Duration of an AOD translation over `distance` meters at the maximum
+/// allowed acceleration, in seconds.
+///
+/// The time model `t = sqrt(d / a_max)` reproduces the examples quoted in
+/// Table 1 of the paper: 100 µs for 27.5 µm and 200 µs for 110 µm at
+/// `a_max = 2750 m/s²`.
+///
+/// # Example
+///
+/// ```
+/// use powermove_hardware::move_duration;
+///
+/// let t = move_duration(27.5e-6, 2750.0);
+/// assert!((t - 100e-6).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn move_duration(distance: f64, max_acceleration: f64) -> f64 {
+    if distance <= 0.0 {
+        return 0.0;
+    }
+    (distance / max_acceleration).sqrt()
+}
+
+/// A single-qubit movement between two physical positions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrapMove {
+    /// The qubit being moved.
+    pub qubit: Qubit,
+    /// Start position.
+    pub from: Point,
+    /// End position.
+    pub to: Point,
+}
+
+impl TrapMove {
+    /// Creates a movement of `qubit` from `from` to `to`.
+    #[must_use]
+    pub const fn new(qubit: Qubit, from: Point, to: Point) -> Self {
+        TrapMove { qubit, from, to }
+    }
+
+    /// Euclidean length of the movement, in meters.
+    #[must_use]
+    pub fn distance(&self) -> f64 {
+        self.from.distance(self.to)
+    }
+
+    /// Duration of the movement at the given maximum acceleration.
+    #[must_use]
+    pub fn duration(&self, max_acceleration: f64) -> f64 {
+        move_duration(self.distance(), max_acceleration)
+    }
+
+    /// Returns `true` if the movement ends at a lower `y` than it starts
+    /// (i.e. heads towards the storage zone in the default layout).
+    #[must_use]
+    pub fn heads_down(&self) -> bool {
+        self.to.y < self.from.y
+    }
+
+    /// Returns `true` if this move and `other` cannot be executed within the
+    /// same AOD collective move.
+    ///
+    /// Following the conflict definition of Sec. 5.3 of the paper, two moves
+    /// conflict on a coordinate when their order *reverses*: `x1_start <=
+    /// x2_start` but `x1_end > x2_end`, or `x1_start >= x2_start` but
+    /// `x1_end < x2_end` (and likewise for `y`). Moves whose coordinates
+    /// become equal at the destination do not conflict — two qubits brought
+    /// to the same interaction site are dropped into static traps a few
+    /// micrometres apart, so their AOD rows/columns never coincide.
+    #[must_use]
+    pub fn conflicts_with(&self, other: &TrapMove) -> bool {
+        fn reversed(s1: f64, s2: f64, e1: f64, e2: f64) -> bool {
+            (matches!(s1.partial_cmp(&s2), Some(Ordering::Less | Ordering::Equal)) && e1 > e2)
+                || (matches!(s1.partial_cmp(&s2), Some(Ordering::Greater | Ordering::Equal))
+                    && e1 < e2)
+        }
+        let x_conflict = reversed(self.from.x, other.from.x, self.to.x, other.to.x);
+        let y_conflict = reversed(self.from.y, other.from.y, self.to.y, other.to.y);
+        x_conflict || y_conflict
+    }
+}
+
+impl fmt::Display for TrapMove {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} -> {}", self.qubit, self.from, self.to)
+    }
+}
+
+/// Checks that a set of single-qubit moves can be executed as one AOD
+/// collective move.
+///
+/// # Errors
+///
+/// Returns [`HardwareError::ConflictingMoves`] identifying the first pair of
+/// conflicting moves, or [`HardwareError::DuplicateMovedQubit`] if the same
+/// qubit appears twice.
+pub fn validate_collective_move(moves: &[TrapMove]) -> Result<(), HardwareError> {
+    for (i, a) in moves.iter().enumerate() {
+        for b in &moves[i + 1..] {
+            if a.qubit == b.qubit {
+                return Err(HardwareError::DuplicateMovedQubit { qubit: a.qubit });
+            }
+            if a.conflicts_with(b) {
+                return Err(HardwareError::ConflictingMoves {
+                    first: a.qubit,
+                    second: b.qubit,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv(q: u32, fx: f64, fy: f64, tx: f64, ty: f64) -> TrapMove {
+        TrapMove::new(
+            Qubit::new(q),
+            Point::from_um(fx, fy),
+            Point::from_um(tx, ty),
+        )
+    }
+
+    #[test]
+    fn duration_matches_paper_examples() {
+        assert!((move_duration(27.5e-6, 2750.0) - 100e-6).abs() < 1e-9);
+        assert!((move_duration(110e-6, 2750.0) - 200e-6).abs() < 1e-9);
+        assert_eq!(move_duration(0.0, 2750.0), 0.0);
+    }
+
+    #[test]
+    fn distance_and_duration_of_move() {
+        let m = mv(0, 0.0, 0.0, 30.0, 40.0);
+        assert!((m.distance() - 50e-6).abs() < 1e-12);
+        assert!(m.duration(2750.0) > 0.0);
+    }
+
+    #[test]
+    fn order_preserving_moves_do_not_conflict() {
+        // Both move right by the same offset: order preserved.
+        let a = mv(0, 0.0, 0.0, 15.0, 0.0);
+        let b = mv(1, 30.0, 0.0, 45.0, 0.0);
+        assert!(!a.conflicts_with(&b));
+        // Stretch: distances change but order preserved.
+        let c = mv(2, 30.0, 0.0, 60.0, 0.0);
+        assert!(!a.conflicts_with(&c));
+    }
+
+    #[test]
+    fn crossing_moves_conflict() {
+        // a starts left of b but ends right of b: x-order crossing.
+        let a = mv(0, 0.0, 0.0, 45.0, 0.0);
+        let b = mv(1, 30.0, 0.0, 15.0, 0.0);
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn converging_on_one_interaction_site_is_allowed() {
+        // Start at different x, end at the same x: the qubits are dropped
+        // into separate static traps at the shared site, so their columns
+        // never coincide and the moves may share a collective move.
+        let a = mv(0, 0.0, 0.0, 15.0, 15.0);
+        let b = mv(1, 30.0, 15.0, 15.0, 30.0);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn splitting_a_column_conflicts() {
+        // Start at the same x, end at different x (Fig. 5, first case).
+        let a = mv(0, 15.0, 0.0, 0.0, 0.0);
+        let b = mv(1, 15.0, 15.0, 30.0, 15.0);
+        assert!(a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn y_axis_conflicts_detected() {
+        let a = mv(0, 0.0, 0.0, 0.0, 30.0);
+        let b = mv(1, 15.0, 15.0, 15.0, 0.0);
+        assert!(a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn tandem_column_moves_are_compatible() {
+        // Same column moving down together; row order (b above a) preserved.
+        let a = mv(0, 15.0, 0.0, 15.0, -30.0);
+        let b = mv(1, 15.0, 15.0, 15.0, -15.0);
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn row_stretch_that_reorders_conflicts() {
+        // Same column, but the upper qubit overtakes the lower one.
+        let a = mv(0, 15.0, 0.0, 15.0, -30.0);
+        let b = mv(1, 15.0, 15.0, 15.0, -45.0);
+        assert!(a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn validate_collective_move_accepts_compatible_set() {
+        // One AOD row moving down into storage in tandem.
+        let moves = vec![
+            mv(0, 0.0, 0.0, 0.0, -30.0),
+            mv(1, 15.0, 0.0, 15.0, -30.0),
+            mv(2, 30.0, 0.0, 30.0, -30.0),
+        ];
+        assert!(validate_collective_move(&moves).is_ok());
+    }
+
+    #[test]
+    fn validate_collective_move_rejects_conflict() {
+        let moves = vec![mv(0, 0.0, 0.0, 45.0, 0.0), mv(1, 30.0, 0.0, 15.0, 0.0)];
+        let err = validate_collective_move(&moves).unwrap_err();
+        assert!(matches!(err, HardwareError::ConflictingMoves { .. }));
+    }
+
+    #[test]
+    fn validate_collective_move_rejects_duplicate_qubit() {
+        let moves = vec![mv(0, 0.0, 0.0, 15.0, 0.0), mv(0, 30.0, 0.0, 45.0, 0.0)];
+        let err = validate_collective_move(&moves).unwrap_err();
+        assert!(matches!(err, HardwareError::DuplicateMovedQubit { .. }));
+    }
+
+    #[test]
+    fn heads_down_detects_storage_direction() {
+        assert!(mv(0, 0.0, 0.0, 0.0, -30.0).heads_down());
+        assert!(!mv(0, 0.0, -30.0, 0.0, 0.0).heads_down());
+    }
+
+    #[test]
+    fn aod_id_round_trip() {
+        let a = AodId::new(2);
+        assert_eq!(a.index(), 2);
+        assert_eq!(a.to_string(), "aod2");
+    }
+}

@@ -1,0 +1,172 @@
+//! Error types for program construction, validation and simulation.
+
+use powermove_circuit::Qubit;
+use powermove_hardware::{HardwareError, SiteId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected while building, validating or simulating a compiled
+/// program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A qubit index is outside the program width.
+    QubitOutOfRange {
+        /// The offending qubit.
+        qubit: Qubit,
+        /// Program width.
+        num_qubits: u32,
+    },
+    /// A site does not belong to the machine grid.
+    SiteOutOfRange {
+        /// The offending site.
+        site: SiteId,
+    },
+    /// A qubit was not placed in the layout when it was needed.
+    UnplacedQubit {
+        /// The offending qubit.
+        qubit: Qubit,
+    },
+    /// A move's source site does not match the qubit's current site.
+    MoveSourceMismatch {
+        /// The moved qubit.
+        qubit: Qubit,
+        /// Site claimed by the instruction.
+        claimed: SiteId,
+        /// Site the qubit actually occupies.
+        actual: SiteId,
+    },
+    /// A hardware constraint (AOD ordering, duplicate qubit) was violated.
+    Hardware(HardwareError),
+    /// More collective moves were scheduled in parallel than there are AOD
+    /// arrays.
+    TooManyParallelMoves {
+        /// Collective moves in the group.
+        requested: usize,
+        /// AOD arrays available.
+        available: usize,
+    },
+    /// After a move group, a site ended up with more than two qubits.
+    SiteOvercrowded {
+        /// The overcrowded site.
+        site: SiteId,
+        /// Number of occupants.
+        occupants: usize,
+    },
+    /// A CZ gate was scheduled while its qubits are not co-located at one
+    /// computation-zone site.
+    PairNotColocated {
+        /// First qubit of the gate.
+        a: Qubit,
+        /// Second qubit of the gate.
+        b: Qubit,
+    },
+    /// A Rydberg stage contains two gates sharing a qubit.
+    OverlappingGatesInStage {
+        /// The shared qubit.
+        qubit: Qubit,
+    },
+    /// During a Rydberg stage, two qubits that are not gate partners share a
+    /// site (unwanted clustering).
+    Clustering {
+        /// The clustered site.
+        site: SiteId,
+    },
+    /// A CZ gate was scheduled on a qubit sitting in the storage zone.
+    GateInStorage {
+        /// The offending qubit.
+        qubit: Qubit,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit program")
+            }
+            ScheduleError::SiteOutOfRange { site } => write!(f, "site {site} outside the grid"),
+            ScheduleError::UnplacedQubit { qubit } => write!(f, "qubit {qubit} has no site"),
+            ScheduleError::MoveSourceMismatch {
+                qubit,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "move of {qubit} claims source {claimed} but the qubit is at {actual}"
+            ),
+            ScheduleError::Hardware(e) => write!(f, "{e}"),
+            ScheduleError::TooManyParallelMoves {
+                requested,
+                available,
+            } => write!(
+                f,
+                "{requested} collective moves scheduled in parallel but only {available} AODs exist"
+            ),
+            ScheduleError::SiteOvercrowded { site, occupants } => {
+                write!(f, "site {site} holds {occupants} qubits (max 2)")
+            }
+            ScheduleError::PairNotColocated { a, b } => {
+                write!(f, "cz pair {a},{b} not co-located in the computation zone")
+            }
+            ScheduleError::OverlappingGatesInStage { qubit } => {
+                write!(f, "two gates of one Rydberg stage share qubit {qubit}")
+            }
+            ScheduleError::Clustering { site } => {
+                write!(f, "non-interacting qubits clustered at site {site} during excitation")
+            }
+            ScheduleError::GateInStorage { qubit } => {
+                write!(f, "cz gate scheduled on {qubit} while it is in the storage zone")
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ScheduleError::Hardware(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HardwareError> for ScheduleError {
+    fn from(e: HardwareError) -> Self {
+        ScheduleError::Hardware(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ScheduleError::PairNotColocated {
+            a: Qubit::new(1),
+            b: Qubit::new(2),
+        };
+        assert!(e.to_string().contains("q1"));
+        let e = ScheduleError::TooManyParallelMoves {
+            requested: 3,
+            available: 1,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn hardware_error_is_wrapped_with_source() {
+        let inner = HardwareError::DuplicateMovedQubit {
+            qubit: Qubit::new(0),
+        };
+        let e: ScheduleError = inner.clone().into();
+        assert_eq!(e, ScheduleError::Hardware(inner));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ScheduleError>();
+    }
+}

@@ -1,0 +1,82 @@
+//! QAOA MaxCut workload: compare the Enola baseline with PowerMove's
+//! non-storage and with-storage configurations on a 3-regular QAOA circuit —
+//! the workload that motivates the paper's introduction.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example qaoa_maxcut [num_qubits]
+//! ```
+
+use powermove_suite::benchmarks::{generate, BenchmarkFamily};
+use powermove_suite::enola::EnolaCompiler;
+use powermove_suite::fidelity::evaluate_program;
+use powermove_suite::hardware::Architecture;
+use powermove_suite::powermove::{CompilerConfig, PowerMoveCompiler};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let instance = generate(BenchmarkFamily::QaoaRegular3, n, 2025);
+    let arch = Architecture::for_qubits(n);
+    println!(
+        "QAOA MaxCut on a 3-regular graph: {} qubits, {} ZZ interactions",
+        n,
+        instance.circuit.cz_count()
+    );
+
+    let enola = EnolaCompiler::default().compile(&instance.circuit, &arch)?;
+    let enola_report = evaluate_program(&enola)?;
+
+    let non_storage = PowerMoveCompiler::new(CompilerConfig::without_storage())
+        .compile(&instance.circuit, &arch)?;
+    let non_storage_report = evaluate_program(&non_storage)?;
+
+    let with_storage =
+        PowerMoveCompiler::new(CompilerConfig::default()).compile(&instance.circuit, &arch)?;
+    let with_storage_report = evaluate_program(&with_storage)?;
+
+    println!(
+        "{:<26} {:>12} {:>14} {:>12} {:>12}",
+        "compiler", "fidelity", "T_exe (us)", "stages", "transfers"
+    );
+    for (name, report) in [
+        ("enola (baseline)", &enola_report),
+        ("powermove non-storage", &non_storage_report),
+        ("powermove with-storage", &with_storage_report),
+    ] {
+        println!(
+            "{:<26} {:>12.4} {:>14.1} {:>12} {:>12}",
+            name,
+            report.fidelity_excluding_one_qubit(),
+            report.execution_time_us(),
+            report.trace.rydberg_stage_count,
+            report.trace.transfer_count
+        );
+    }
+
+    println!(
+        "\nfidelity improvement over Enola: {:.2}x",
+        with_storage_report.fidelity_excluding_one_qubit()
+            / enola_report.fidelity_excluding_one_qubit()
+    );
+    println!(
+        "execution-time improvement over Enola: {:.2}x",
+        enola_report.execution_time() / non_storage_report.execution_time()
+    );
+    Ok(())
+}
+
+/// Convenience accessor mirroring `FidelityReport::execution_time` so the
+/// ratio above reads naturally.
+trait ExecTime {
+    fn execution_time(&self) -> f64;
+}
+
+impl ExecTime for powermove_suite::fidelity::FidelityReport {
+    fn execution_time(&self) -> f64 {
+        self.execution_time
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build a small circuit, compile it with PowerMove and inspect
+//! the resulting schedule and fidelity estimate.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use powermove_suite::circuit::{Circuit, Qubit};
+use powermove_suite::fidelity::evaluate_program;
+use powermove_suite::hardware::Architecture;
+use powermove_suite::powermove::{CompilerConfig, PowerMoveCompiler};
+use powermove_suite::schedule::validate;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 6-qubit GHZ-like circuit followed by a ring of ZZ interactions.
+    let n = 6_u32;
+    let mut circuit = Circuit::new(n);
+    circuit.h(Qubit::new(0))?;
+    for i in 0..n - 1 {
+        circuit.cnot(Qubit::new(i), Qubit::new(i + 1))?;
+    }
+    for i in 0..n {
+        circuit.zz(Qubit::new(i), Qubit::new((i + 1) % n), 0.8)?;
+    }
+    println!("input circuit: {} gates ({} CZ)", circuit.num_gates(), circuit.cz_count());
+
+    // The paper's default machine for this qubit count: ceil(sqrt(6)) = 3
+    // columns, a 3x3 computation zone and a 3x6 storage zone.
+    let arch = Architecture::for_qubits(n);
+
+    // Compile with the full PowerMove pipeline (storage zone enabled).
+    let compiler = PowerMoveCompiler::new(CompilerConfig::default());
+    let program = compiler.compile(&circuit, &arch)?;
+    validate(&program)?;
+
+    println!(
+        "compiled: {} instructions, {} Rydberg stages, {} move groups, {} transfers",
+        program.num_instructions(),
+        program.rydberg_stage_count(),
+        program.move_group_count(),
+        program.transfer_count()
+    );
+
+    // Estimate execution time and output fidelity (Eq. 1 of the paper).
+    let report = evaluate_program(&program)?;
+    println!("estimated execution time: {:.1} us", report.execution_time_us());
+    println!("estimated output fidelity: {:.4}", report.fidelity());
+    println!("breakdown: {}", report.breakdown);
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the PowerMove reproduction workspace.
+//!
+//! This crate re-exports the public API of every workspace member so that the
+//! runnable examples under `examples/` and the integration tests under
+//! `tests/` can use a single import root. Downstream users should depend on
+//! the individual crates (`powermove`, `powermove-circuit`, ...) directly.
+
+pub use enola_baseline as enola;
+pub use powermove;
+pub use powermove_benchmarks as benchmarks;
+pub use powermove_circuit as circuit;
+pub use powermove_fidelity as fidelity;
+pub use powermove_hardware as hardware;
+pub use powermove_schedule as schedule;

@@ -1,0 +1,157 @@
+//! End-to-end integration tests: benchmark generation → compilation →
+//! validation → fidelity evaluation, spanning every workspace crate.
+
+use powermove_suite::benchmarks::{generate, BenchmarkFamily};
+use powermove_suite::circuit::CircuitStats;
+use powermove_suite::enola::EnolaCompiler;
+use powermove_suite::fidelity::evaluate_program;
+use powermove_suite::hardware::{Architecture, Zone};
+use powermove_suite::powermove::{CompilerConfig, PowerMoveCompiler};
+use powermove_suite::schedule::validate;
+
+/// Small but representative instances from every benchmark family.
+fn small_suite() -> Vec<(BenchmarkFamily, u32)> {
+    vec![
+        (BenchmarkFamily::QaoaRegular3, 20),
+        (BenchmarkFamily::QaoaRegular4, 15),
+        (BenchmarkFamily::QaoaRandom, 12),
+        (BenchmarkFamily::Qft, 10),
+        (BenchmarkFamily::Bv, 14),
+        (BenchmarkFamily::Vqe, 16),
+        (BenchmarkFamily::QsimRand, 12),
+    ]
+}
+
+#[test]
+fn every_family_compiles_validates_and_scores_with_powermove() {
+    for (family, n) in small_suite() {
+        let instance = generate(family, n, 7);
+        let arch = Architecture::for_qubits(n);
+        for config in [CompilerConfig::default(), CompilerConfig::without_storage()] {
+            let program = PowerMoveCompiler::new(config)
+                .compile(&instance.circuit, &arch)
+                .unwrap_or_else(|e| panic!("{family} ({n} qubits) failed to compile: {e}"));
+            validate(&program)
+                .unwrap_or_else(|e| panic!("{family} ({n} qubits) produced invalid program: {e}"));
+            let report = evaluate_program(&program).expect("program scores");
+            assert!(report.fidelity() > 0.0, "{family} fidelity collapsed to zero");
+            assert_eq!(
+                program.cz_gate_count(),
+                instance.circuit.cz_count(),
+                "{family} lost CZ gates"
+            );
+            assert_eq!(
+                program.one_qubit_gate_count(),
+                instance.circuit.one_qubit_count(),
+                "{family} lost 1Q gates"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_family_compiles_and_validates_with_enola() {
+    for (family, n) in small_suite() {
+        let instance = generate(family, n, 7);
+        let arch = Architecture::for_qubits(n);
+        let program = EnolaCompiler::default()
+            .compile(&instance.circuit, &arch)
+            .unwrap_or_else(|e| panic!("{family} ({n} qubits) failed to compile: {e}"));
+        validate(&program)
+            .unwrap_or_else(|e| panic!("{family} ({n} qubits) produced invalid program: {e}"));
+        assert_eq!(program.cz_gate_count(), instance.circuit.cz_count());
+    }
+}
+
+#[test]
+fn stage_count_is_at_least_the_theoretical_lower_bound() {
+    for (family, n) in small_suite() {
+        let instance = generate(family, n, 7);
+        let stats = CircuitStats::of(&instance.circuit);
+        let arch = Architecture::for_qubits(n);
+        let program = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&instance.circuit, &arch)
+            .expect("compiles");
+        assert!(
+            program.rydberg_stage_count() >= stats.stage_lower_bound,
+            "{family}: {} stages < lower bound {}",
+            program.rydberg_stage_count(),
+            stats.stage_lower_bound
+        );
+    }
+}
+
+#[test]
+fn with_storage_programs_have_zero_excitation_exposure() {
+    for (family, n) in small_suite() {
+        let instance = generate(family, n, 3);
+        let arch = Architecture::for_qubits(n);
+        let program = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&instance.circuit, &arch)
+            .expect("compiles");
+        let report = evaluate_program(&program).expect("scores");
+        assert_eq!(
+            report.trace.excitation_exposure, 0,
+            "{family}: storage mode left qubits exposed"
+        );
+        assert_eq!(report.breakdown.excitation, 1.0);
+    }
+}
+
+#[test]
+fn final_layout_keeps_every_qubit_on_the_grid() {
+    let instance = generate(BenchmarkFamily::QaoaRandom, 16, 5);
+    let arch = Architecture::for_qubits(16);
+    let program = PowerMoveCompiler::new(CompilerConfig::default())
+        .compile(&instance.circuit, &arch)
+        .expect("compiles");
+    let report = evaluate_program(&program).expect("scores");
+    for i in 0..16 {
+        let site = report
+            .trace
+            .final_layout
+            .site_of(powermove_suite::circuit::Qubit::new(i))
+            .expect("qubit remains placed");
+        assert!(arch.grid().contains(site));
+    }
+}
+
+#[test]
+fn multi_aod_accelerates_execution() {
+    let instance = generate(BenchmarkFamily::QaoaRegular3, 30, 9);
+    let compiler = PowerMoveCompiler::new(CompilerConfig::default());
+    let single = compiler
+        .compile(
+            &instance.circuit,
+            &Architecture::for_qubits(30).with_num_aods(1),
+        )
+        .expect("compiles");
+    let quad = compiler
+        .compile(
+            &instance.circuit,
+            &Architecture::for_qubits(30).with_num_aods(4),
+        )
+        .expect("compiles");
+    let single_report = evaluate_program(&single).expect("scores");
+    let quad_report = evaluate_program(&quad).expect("scores");
+    assert!(
+        quad_report.execution_time < single_report.execution_time,
+        "4 AODs ({:.1} us) should beat 1 AOD ({:.1} us)",
+        quad_report.execution_time_us(),
+        single_report.execution_time_us()
+    );
+    assert!(quad_report.fidelity() >= single_report.fidelity());
+}
+
+#[test]
+fn storage_initial_layout_lives_in_the_storage_zone() {
+    let instance = generate(BenchmarkFamily::Vqe, 20, 1);
+    let arch = Architecture::for_qubits(20);
+    let program = PowerMoveCompiler::new(CompilerConfig::default())
+        .compile(&instance.circuit, &arch)
+        .expect("compiles");
+    for (_, site) in program.initial_layout().iter() {
+        assert_eq!(arch.grid().zone_of(site), Zone::Storage);
+    }
+    assert!(program.metadata().uses_storage);
+}

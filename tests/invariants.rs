@@ -1,0 +1,139 @@
+//! Property-based tests of the core compiler invariants, driven by random
+//! circuits and random movement sets.
+
+use proptest::prelude::*;
+
+use powermove_suite::circuit::{BlockProgram, Circuit, CzBlock, CzGate, Qubit};
+use powermove_suite::enola::EnolaCompiler;
+use powermove_suite::fidelity::evaluate_program;
+use powermove_suite::hardware::{validate_collective_move, Architecture, Zone};
+use powermove_suite::powermove::{
+    group_moves, partition_stages, schedule_stages, CompilerConfig, PowerMoveCompiler,
+};
+use powermove_suite::schedule::{validate, SiteMove};
+
+/// Strategy: a random circuit over `n` qubits mixing H, Rz and CZ gates.
+fn random_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (2..=max_qubits, proptest::collection::vec((0u8..3, 0u32..1000, 0u32..1000), 1..max_gates))
+        .prop_map(|(n, ops)| {
+            let mut circuit = Circuit::new(n);
+            for (kind, a, b) in ops {
+                let qa = Qubit::new(a % n);
+                let qb = Qubit::new(b % n);
+                match kind {
+                    0 => circuit.h(qa).expect("in range"),
+                    1 => circuit.rz(qa, 0.17).expect("in range"),
+                    _ => {
+                        if qa != qb {
+                            circuit.cz(qa, qb).expect("in range");
+                        }
+                    }
+                }
+            }
+            circuit
+        })
+}
+
+/// Strategy: a random commuting CZ block over `n` qubits.
+fn random_block(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = CzBlock> {
+    (4..=max_qubits, proptest::collection::vec((0u32..1000, 0u32..1000), 1..max_gates)).prop_map(
+        |(n, pairs)| {
+            pairs
+                .into_iter()
+                .filter_map(|(a, b)| {
+                    let qa = Qubit::new(a % n);
+                    let qb = Qubit::new(b % n);
+                    (qa != qb).then(|| CzGate::new(qa, qb))
+                })
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Block synthesis never loses or invents gates.
+    #[test]
+    fn block_synthesis_preserves_gate_counts(circuit in random_circuit(12, 60)) {
+        let program = BlockProgram::from_circuit(&circuit);
+        prop_assert_eq!(program.total_cz_gates(), circuit.cz_count());
+        prop_assert_eq!(program.total_one_qubit_gates(), circuit.one_qubit_count());
+    }
+
+    /// Stage partition covers every gate exactly once and every stage acts on
+    /// disjoint qubits.
+    #[test]
+    fn stage_partition_is_a_valid_colouring(block in random_block(16, 60)) {
+        let stages = partition_stages(&block);
+        let total: usize = stages.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, block.len());
+        for stage in &stages {
+            let qubits = stage.interacting_qubits();
+            prop_assert_eq!(qubits.len(), 2 * stage.len());
+        }
+        // Scheduling permutes but never drops stages.
+        let scheduled = schedule_stages(stages.clone(), 0.5);
+        prop_assert_eq!(scheduled.len(), stages.len());
+        let rescheduled_total: usize = scheduled.iter().map(|s| s.len()).sum();
+        prop_assert_eq!(rescheduled_total, block.len());
+    }
+
+    /// Grouped collective moves preserve every move and never violate the
+    /// AOD order constraint.
+    #[test]
+    fn grouping_preserves_moves_and_compatibility(
+        pairs in proptest::collection::vec((0u32..25, 0u32..25), 1..20)
+    ) {
+        let arch = Architecture::for_qubits(25);
+        let grid = arch.grid();
+        let sites: Vec<_> = grid.sites_in(Zone::Compute).collect();
+        let moves: Vec<SiteMove> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(from, to))| SiteMove::new(
+                Qubit::new(i as u32),
+                sites[from as usize % sites.len()],
+                sites[to as usize % sites.len()],
+            ))
+            .collect();
+        let groups = group_moves(&moves, &arch);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, moves.len());
+        for group in &groups {
+            let trap_moves: Vec<_> = group.iter().map(|m| m.to_trap_move(&arch)).collect();
+            prop_assert!(validate_collective_move(&trap_moves).is_ok());
+        }
+    }
+
+    /// Every random circuit compiles to a hardware-valid program under both
+    /// PowerMove configurations, preserving gate counts, and the with-storage
+    /// configuration never exposes an idle qubit to a Rydberg excitation.
+    #[test]
+    fn compiled_programs_are_always_valid(circuit in random_circuit(10, 40)) {
+        let arch = Architecture::for_qubits(circuit.num_qubits());
+        for config in [CompilerConfig::default(), CompilerConfig::without_storage()] {
+            let program = PowerMoveCompiler::new(config)
+                .compile(&circuit, &arch)
+                .expect("compilation succeeds");
+            prop_assert!(validate(&program).is_ok());
+            prop_assert_eq!(program.cz_gate_count(), circuit.cz_count());
+            let report = evaluate_program(&program).expect("program scores");
+            if config.use_storage {
+                prop_assert_eq!(report.trace.excitation_exposure, 0);
+            }
+            prop_assert!(report.fidelity() >= 0.0 && report.fidelity() <= 1.0);
+        }
+    }
+
+    /// The Enola baseline also always produces hardware-valid programs.
+    #[test]
+    fn enola_programs_are_always_valid(circuit in random_circuit(10, 30)) {
+        let arch = Architecture::for_qubits(circuit.num_qubits());
+        let program = EnolaCompiler::default()
+            .compile(&circuit, &arch)
+            .expect("compilation succeeds");
+        prop_assert!(validate(&program).is_ok());
+        prop_assert_eq!(program.cz_gate_count(), circuit.cz_count());
+    }
+}

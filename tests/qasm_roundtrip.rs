@@ -1,0 +1,34 @@
+//! Integration test: every generated benchmark circuit survives an OpenQASM
+//! round trip, and the re-imported circuit compiles to an equivalent program.
+
+use powermove_suite::benchmarks::{generate, BenchmarkFamily};
+use powermove_suite::circuit::qasm;
+use powermove_suite::hardware::Architecture;
+use powermove_suite::powermove::{CompilerConfig, PowerMoveCompiler};
+
+#[test]
+fn benchmark_circuits_round_trip_through_qasm() {
+    for family in BenchmarkFamily::ALL {
+        let n = match family {
+            BenchmarkFamily::Qft => 8,
+            _ => 12,
+        };
+        let instance = generate(family, n, 31);
+        let text = qasm::to_qasm(&instance.circuit);
+        let parsed = qasm::from_qasm(&text).unwrap_or_else(|e| panic!("{family}: {e}"));
+        assert_eq!(parsed, instance.circuit, "{family} round trip changed the circuit");
+    }
+}
+
+#[test]
+fn reimported_circuit_compiles_to_equivalent_schedule() {
+    let instance = generate(BenchmarkFamily::QaoaRegular3, 16, 31);
+    let parsed = qasm::from_qasm(&qasm::to_qasm(&instance.circuit)).expect("parses");
+    let arch = Architecture::for_qubits(16);
+    let compiler = PowerMoveCompiler::new(CompilerConfig::default());
+    let original = compiler.compile(&instance.circuit, &arch).expect("compiles");
+    let reimported = compiler.compile(&parsed, &arch).expect("compiles");
+    assert_eq!(original.cz_gate_count(), reimported.cz_gate_count());
+    assert_eq!(original.one_qubit_gate_count(), reimported.one_qubit_gate_count());
+    assert_eq!(original.rydberg_stage_count(), reimported.rydberg_stage_count());
+}
