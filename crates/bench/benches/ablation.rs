@@ -1,8 +1,14 @@
 //! Ablation benchmarks for the design choices called out in DESIGN.md:
-//! the stage-scheduling weight α, and the storage zone on/off.
+//! the stage-scheduling weight α, the storage zone on/off, and collective-
+//! move grouping on/off.
+//!
+//! The storage and grouping ablations are expressed as extra backends
+//! registered with the shared [`BackendRegistry`] — the same drop-in
+//! mechanism any new routing strategy would use.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use powermove::{CompilerConfig, PowerMoveCompiler};
+use powermove_bench::{BackendRegistry, POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE};
 use powermove_benchmarks::{generate, BenchmarkFamily};
 use powermove_hardware::Architecture;
 use std::hint::black_box;
@@ -10,41 +16,67 @@ use std::time::Duration;
 
 fn bench_alpha_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_alpha");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let instance = generate(BenchmarkFamily::QaoaRegular3, 40, 29);
     let arch = Architecture::for_qubits(40);
     for alpha in [0.0_f64, 0.5, 1.0] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(alpha),
-            &instance,
-            |b, inst| {
-                let compiler =
-                    PowerMoveCompiler::new(CompilerConfig::default().with_alpha(alpha));
-                b.iter(|| black_box(compiler.compile(&inst.circuit, &arch).unwrap()));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_storage_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_storage");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
-
-    let instance = generate(BenchmarkFamily::Bv, 50, 29);
-    let arch = Architecture::for_qubits(50);
-    for (label, config) in [
-        ("with_storage", CompilerConfig::default()),
-        ("non_storage", CompilerConfig::without_storage()),
-    ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &instance, |b, inst| {
-            let compiler = PowerMoveCompiler::new(config);
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &instance, |b, inst| {
+            let compiler = PowerMoveCompiler::new(CompilerConfig::default().with_alpha(alpha));
             b.iter(|| black_box(compiler.compile(&inst.circuit, &arch).unwrap()));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_alpha_ablation, bench_storage_ablation);
+fn bench_backend_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_backends");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    // Register the ablation configurations next to the standard ones; the
+    // harness needs no changes to pick them up.
+    let mut registry = BackendRegistry::new();
+    registry.register(
+        POWERMOVE_STORAGE,
+        Box::new(PowerMoveCompiler::new(CompilerConfig::default())),
+    );
+    registry.register(
+        POWERMOVE_NON_STORAGE,
+        Box::new(PowerMoveCompiler::new(CompilerConfig::without_storage())),
+    );
+    registry.register(
+        "powermove-no-grouping",
+        Box::new(PowerMoveCompiler::new(
+            CompilerConfig::default().without_grouping(),
+        )),
+    );
+
+    // Like the alpha ablation above, time compilation alone: architecture
+    // construction and fidelity scoring stay outside the measured loop.
+    let instance = generate(BenchmarkFamily::Bv, 50, 29);
+    let arch = Architecture::for_qubits(50);
+    for entry in registry.iter() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entry.id()),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    black_box(
+                        entry
+                            .backend()
+                            .compile_circuit(&inst.circuit, &arch)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha_ablation, bench_backend_ablations);
 criterion_main!(benches);

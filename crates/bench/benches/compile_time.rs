@@ -14,7 +14,9 @@ use std::time::Duration;
 
 fn bench_compile_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_time");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     let cases = [
         (BenchmarkFamily::QaoaRegular3, 20_u32),

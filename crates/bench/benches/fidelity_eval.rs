@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_fidelity_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("fidelity_eval");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [30_u32, 60] {
         let instance = generate(BenchmarkFamily::QaoaRegular3, n, 5);

@@ -2,15 +2,19 @@
 //! (compile + simulate + Eq. (1)) for each benchmark family of the figure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use powermove_bench::{run_instance, CompilerKind};
+use powermove_bench::{run_instance, BackendRegistry, POWERMOVE_STORAGE};
 use powermove_benchmarks::{generate, BenchmarkFamily};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_fig6_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_breakdown_point");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
+    let registry = BackendRegistry::standard();
+    let storage = registry.entry(POWERMOVE_STORAGE).expect("registered");
     let cases = [
         (BenchmarkFamily::QaoaRegular3, 40_u32),
         (BenchmarkFamily::QsimRand, 20),
@@ -23,9 +27,7 @@ fn bench_fig6_points(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(&instance.name),
             &instance,
-            |b, inst| {
-                b.iter(|| black_box(run_instance(inst, 1, CompilerKind::PowerMoveStorage)))
-            },
+            |b, inst| b.iter(|| black_box(run_instance(inst, 1, storage))),
         );
     }
     group.finish();

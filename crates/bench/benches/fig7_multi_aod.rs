@@ -2,24 +2,24 @@
 //! sweeping the number of AOD arrays from 1 to 4.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use powermove_bench::{run_instance, CompilerKind};
+use powermove_bench::{run_instance, BackendRegistry, POWERMOVE_STORAGE};
 use powermove_benchmarks::{generate, BenchmarkFamily};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_multi_aod(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_multi_aod");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
+    let registry = BackendRegistry::standard();
+    let storage = registry.entry(POWERMOVE_STORAGE).expect("registered");
     let instance = generate(BenchmarkFamily::QaoaRegular3, 40, 23);
     for aods in 1..=4_usize {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(aods),
-            &instance,
-            |b, inst| {
-                b.iter(|| black_box(run_instance(inst, aods, CompilerKind::PowerMoveStorage)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(aods), &instance, |b, inst| {
+            b.iter(|| black_box(run_instance(inst, aods, storage)))
+        });
     }
     group.finish();
 }

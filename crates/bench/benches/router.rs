@@ -12,7 +12,9 @@ use std::time::Duration;
 
 fn bench_router(c: &mut Criterion) {
     let mut group = c.benchmark_group("continuous_router");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [30_u32, 60] {
         let instance = generate(BenchmarkFamily::QaoaRegular3, n, 3);

@@ -19,15 +19,15 @@ fn block_for(n: u32, degree: u32) -> CzBlock {
 
 fn bench_stage_partition(c: &mut Criterion) {
     let mut group = c.benchmark_group("stage_partition");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [20_u32, 50, 100] {
         let block = block_for(n, 3);
-        group.bench_with_input(
-            BenchmarkId::new("edge_coloring", n),
-            &block,
-            |b, block| b.iter(|| black_box(partition_stages(block))),
-        );
+        group.bench_with_input(BenchmarkId::new("edge_coloring", n), &block, |b, block| {
+            b.iter(|| black_box(partition_stages(block)))
+        });
         group.bench_with_input(BenchmarkId::new("iterated_mis", n), &block, |b, block| {
             b.iter(|| black_box(partition_stages_mis(block, 50_000)))
         });

@@ -1,18 +1,21 @@
 //! End-to-end Table 3 benchmark: compile + validate + score one benchmark
-//! instance under each of the three compiler configurations. The reported
+//! instance under every registered compiler configuration. The reported
 //! times are the full per-row cost of regenerating Table 3; the printed
 //! table itself is produced by the `table3` binary.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use powermove_bench::{run_instance, CompilerKind};
+use powermove_bench::{run_instance, BackendRegistry};
 use powermove_benchmarks::{generate, BenchmarkFamily};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn bench_table3(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_row");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
 
+    let registry = BackendRegistry::standard();
     let cases = [
         (BenchmarkFamily::QaoaRegular3, 30_u32),
         (BenchmarkFamily::Bv, 50),
@@ -20,11 +23,11 @@ fn bench_table3(c: &mut Criterion) {
     ];
     for (family, n) in cases {
         let instance = generate(family, n, 11);
-        for kind in CompilerKind::ALL {
+        for entry in registry.iter() {
             group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), &instance.name),
+                BenchmarkId::new(entry.id(), &instance.name),
                 &instance,
-                |b, inst| b.iter(|| black_box(run_instance(inst, 1, kind))),
+                |b, inst| b.iter(|| black_box(run_instance(inst, 1, entry))),
             );
         }
     }

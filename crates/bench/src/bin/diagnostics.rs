@@ -1,19 +1,20 @@
 //! Prints detailed schedule statistics (stages, collective moves, movement
-//! time, distances) for one benchmark under the three compiler
-//! configurations. Useful when investigating where execution time goes.
+//! time, distances) and per-pass compilation timings for one benchmark under
+//! every registered compiler backend. Useful when investigating where
+//! execution time — and compilation time — goes.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p powermove-bench --bin diagnostics [family] [qubits]
+//! cargo run --release -p powermove-bench --bin diagnostics [family] [qubits] [--json <path>]
 //! ```
 //!
 //! `family` is matched against the Table 2 family names (default
 //! `QAOA-regular3`), `qubits` defaults to 50.
 
-use enola_baseline::EnolaCompiler;
-use powermove::{CompilerConfig, PowerMoveCompiler};
-use powermove_bench::DEFAULT_SEED;
+use powermove_bench::{
+    score_program, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
+};
 use powermove_benchmarks::{generate, BenchmarkFamily};
 use powermove_fidelity::evaluate_program;
 use powermove_hardware::Architecture;
@@ -50,30 +51,52 @@ fn describe(name: &str, program: &CompiledProgram) {
         report.fidelity_excluding_one_qubit(),
         report.breakdown
     );
+    let metadata = program.metadata();
+    if !metadata.pass_timings.is_empty() {
+        let total = metadata.compile_time.unwrap_or_default();
+        let passes = metadata
+            .pass_timings
+            .iter()
+            .map(|t| format!("{}={:.1}ms", t.pass, t.seconds * 1e3))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("{:<26} passes: {passes}  (total {:.1}ms)", "", total * 1e3);
+    }
+    if !metadata.counters.is_empty() {
+        let counters = metadata
+            .counters
+            .iter()
+            .map(|c| format!("{}={}", c.name, c.value))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!("{:<26} counters: {counters}", "");
+    }
 }
 
 fn main() {
-    let family = pick_family(&std::env::args().nth(1).unwrap_or_default());
-    let qubits: u32 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(50);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_path(&mut args);
+    let family = pick_family(args.first().map(String::as_str).unwrap_or_default());
+    let qubits: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
     let instance = generate(family, qubits, DEFAULT_SEED);
     let arch = Architecture::for_qubits(instance.num_qubits);
     println!("benchmark: {}", instance.name);
 
-    let enola = EnolaCompiler::default()
-        .compile(&instance.circuit, &arch)
-        .expect("enola compiles");
-    describe("enola", &enola);
-
-    let non_storage = PowerMoveCompiler::new(CompilerConfig::without_storage())
-        .compile(&instance.circuit, &arch)
-        .expect("powermove compiles");
-    describe("powermove (non-storage)", &non_storage);
-
-    let with_storage = PowerMoveCompiler::new(CompilerConfig::default())
-        .compile(&instance.circuit, &arch)
-        .expect("powermove compiles");
-    describe("powermove (with-storage)", &with_storage);
+    let registry = BackendRegistry::standard();
+    let mut results: Vec<RunResult> = Vec::new();
+    for entry in registry.iter() {
+        let start = std::time::Instant::now();
+        let program = entry
+            .backend()
+            .compile_circuit(&instance.circuit, &arch)
+            .unwrap_or_else(|e| panic!("{} compiles: {e}", entry.id()));
+        let measured_s = start.elapsed().as_secs_f64();
+        describe(entry.id(), &program);
+        if json_path.is_some() {
+            results.push(score_program(entry.id(), &instance, &program, measured_s));
+        }
+    }
+    if let Some(path) = json_path {
+        write_json(&path, &results);
+    }
 }

@@ -1,14 +1,16 @@
 //! Regenerates Fig. 6 of the paper: the fidelity-factor breakdown (two-qubit,
 //! excitation, transfer, decoherence) versus qubit count for five benchmark
-//! families under the three compiler configurations.
+//! families under every registered compiler backend.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p powermove-bench --bin fig6 [family-filter]
+//! cargo run --release -p powermove-bench --bin fig6 [family-filter] [--json <path>]
 //! ```
 
-use powermove_bench::{run_instance, CompilerKind, RunResult, DEFAULT_SEED};
+use powermove_bench::{
+    run_all, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
+};
 use powermove_benchmarks::{generate, BenchmarkFamily};
 
 /// The qubit sweeps of Fig. 6(a)-(e).
@@ -25,7 +27,7 @@ fn sweeps() -> Vec<(BenchmarkFamily, Vec<u32>)> {
 fn print_row(result: &RunResult) {
     println!(
         "  {:<26} n={:<4} total={:>9.3e}  2q={:>9.3e}  exc={:>9.3e}  trans={:>9.3e}  deco={:>9.3e}",
-        result.compiler.to_string(),
+        result.compiler,
         result.num_qubits,
         result.fidelity,
         result.breakdown.two_qubit,
@@ -36,7 +38,11 @@ fn print_row(result: &RunResult) {
 }
 
 fn main() {
-    let filter = std::env::args().nth(1).unwrap_or_default();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_path(&mut args);
+    let filter = args.first().cloned().unwrap_or_default();
+    let registry = BackendRegistry::standard();
+    let mut results: Vec<RunResult> = Vec::new();
     for (family, sizes) in sweeps() {
         let name = family.to_string();
         if !filter.is_empty() && !name.contains(&filter) {
@@ -45,11 +51,14 @@ fn main() {
         println!("== Fig. 6: {name} ==");
         for n in sizes {
             let instance = generate(family, n, DEFAULT_SEED);
-            for kind in CompilerKind::ALL {
-                let result = run_instance(&instance, 1, kind);
+            for result in run_all(&instance, 1, &registry) {
                 print_row(&result);
+                results.push(result);
             }
         }
         println!();
+    }
+    if let Some(path) = json_path {
+        write_json(&path, &results);
     }
 }

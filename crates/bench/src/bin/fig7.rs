@@ -1,11 +1,34 @@
 //! Regenerates Fig. 7 of the paper: execution time and fidelity of the
 //! with-storage PowerMove configuration as the number of AOD arrays grows
 //! from 1 to 4, on the five benchmark instances used in the figure.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p powermove-bench --bin fig7 [--json <path>]
+//! ```
 
-use powermove_bench::{run_instance, CompilerKind, DEFAULT_SEED};
+use powermove_bench::{
+    run_instance, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
+    POWERMOVE_STORAGE,
+};
 use powermove_benchmarks::{generate, BenchmarkFamily};
+use serde::Serialize;
+
+/// One serializable point of Fig. 7: an AOD count paired with its result.
+#[derive(Debug, Clone, Serialize)]
+struct Fig7Point {
+    aods: usize,
+    result: RunResult,
+}
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_path(&mut args);
+    let registry = BackendRegistry::standard();
+    let storage = registry
+        .entry(POWERMOVE_STORAGE)
+        .expect("standard backend registered");
     let cases = [
         (BenchmarkFamily::QaoaRegular3, 100_u32),
         (BenchmarkFamily::QsimRand, 20),
@@ -17,15 +40,20 @@ fn main() {
         "{:<20} {:>6} {:>14} {:>12} {:>12}",
         "Benchmark", "#AODs", "Texe (us)", "Fidelity", "Stages"
     );
+    let mut results: Vec<Fig7Point> = Vec::new();
     for (family, n) in cases {
         let instance = generate(family, n, DEFAULT_SEED);
         for aods in 1..=4_usize {
-            let result = run_instance(&instance, aods, CompilerKind::PowerMoveStorage);
+            let result = run_instance(&instance, aods, storage);
             println!(
                 "{:<20} {:>6} {:>14.1} {:>12.3e} {:>12}",
                 instance.name, aods, result.execution_time_us, result.fidelity, result.stages
             );
+            results.push(Fig7Point { aods, result });
         }
         println!();
+    }
+    if let Some(path) = json_path {
+        write_json(&path, &results);
     }
 }

@@ -1,9 +1,18 @@
 //! Regenerates Table 1 of the paper: fidelity and duration of the elementary
 //! neutral-atom operations used by the compiler and the fidelity model.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p powermove-bench --bin table1 [--json <path>]
+//! ```
 
+use powermove_bench::{take_json_path, write_json};
 use powermove_hardware::PhysicalParams;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_path(&mut args);
     let p = PhysicalParams::default();
     println!("Table 1: NAQC operation parameters");
     println!("{:<28} {:>12} {:>16}", "Operation", "Fidelity", "Duration");
@@ -32,17 +41,28 @@ fn main() {
         format!("{:.0} us", p.transfer_duration * 1e6)
     );
     println!();
-    println!("Qubit movement: ~100% fidelity while a < {:.0} m/s^2", p.max_acceleration);
+    println!(
+        "Qubit movement: ~100% fidelity while a < {:.0} m/s^2",
+        p.max_acceleration
+    );
     for d_um in [27.5_f64, 110.0] {
         let t = powermove_hardware::move_duration(d_um * 1e-6, p.max_acceleration);
         println!("  {:>6.1} um move -> {:>6.0} us", d_um, t * 1e6);
     }
     println!();
-    println!("Geometry: {:.0} um site spacing, {:.0} um compute/storage gap,", p.site_spacing * 1e6, p.zone_gap * 1e6);
+    println!(
+        "Geometry: {:.0} um site spacing, {:.0} um compute/storage gap,",
+        p.site_spacing * 1e6,
+        p.zone_gap * 1e6
+    );
     println!(
         "  Rydberg radius {:.0} um, minimum non-interacting separation {:.0} um,",
         p.rydberg_radius * 1e6,
         p.min_separation * 1e6
     );
     println!("  coherence time T2 = {:.1} s", p.coherence_time);
+
+    if let Some(path) = json_path {
+        write_json(&path, &p);
+    }
 }

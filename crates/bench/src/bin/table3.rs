@@ -5,17 +5,20 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p powermove-bench --bin table3 [name-filter]
+//! cargo run --release -p powermove-bench --bin table3 [name-filter] [--json <path>]
 //! ```
 //!
 //! An optional substring filter restricts the run to matching benchmark
-//! names (e.g. `QAOA-regular3` or `BV-70`).
+//! names (e.g. `QAOA-regular3` or `BV-70`); `--json` additionally writes the
+//! rows as a JSON report.
 
-use powermove_bench::{table3_row, DEFAULT_SEED};
+use powermove_bench::{table3_row, take_json_path, write_json, Table3Row, DEFAULT_SEED};
 use powermove_benchmarks::table2_suite;
 
 fn main() {
-    let filter = std::env::args().nth(1).unwrap_or_default();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_path(&mut args);
+    let filter = args.first().cloned().unwrap_or_default();
     let suite = table2_suite(DEFAULT_SEED);
 
     println!(
@@ -33,13 +36,13 @@ fn main() {
         "Our Tc(s)",
         "Tc.Impr"
     );
+    let mut rows: Vec<Table3Row> = Vec::new();
     for instance in suite
         .iter()
         .filter(|i| filter.is_empty() || i.name.contains(&filter))
     {
         let row = table3_row(instance);
-        let our_tcomp =
-            0.5 * (row.non_storage.compile_time_s + row.with_storage.compile_time_s);
+        let our_tcomp = 0.5 * (row.non_storage.compile_time_s + row.with_storage.compile_time_s);
         println!(
             "{:<18} {:>12.3e} {:>12.3e} {:>12.3e} {:>8.2}x | {:>12.1} {:>12.1} {:>12.1} {:>6.2}x | {:>10.3} {:>10.3} {:>7.2}x",
             row.benchmark,
@@ -55,5 +58,9 @@ fn main() {
             our_tcomp,
             row.compile_time_improvement(),
         );
+        rows.push(row);
+    }
+    if let Some(path) = json_path {
+        write_json(&path, &rows);
     }
 }

@@ -1,55 +1,160 @@
 //! Shared experiment-runner utilities.
+//!
+//! Compilers are driven through the open [`BackendRegistry`]: every
+//! registered [`CompilerBackend`] trait object is compiled, validated and
+//! scored by exactly the same code path, so new strategies (ablations,
+//! alternative routers, external baselines) appear in every table and figure
+//! without touching the harness.
 
 use enola_baseline::{EnolaCompiler, EnolaConfig};
-use powermove::{CompilerConfig, PowerMoveCompiler};
+use powermove::{CompilerBackend, CompilerConfig, PowerMoveCompiler};
 use powermove_benchmarks::BenchmarkInstance;
 use powermove_fidelity::{evaluate_program, FidelityBreakdown};
 use powermove_hardware::Architecture;
-use powermove_schedule::CompiledProgram;
+use powermove_schedule::PassTiming;
 use serde::{Deserialize, Serialize};
-use std::fmt;
-use std::time::Instant;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Seed used by every experiment binary, making the reported numbers
 /// reproducible run to run.
 pub const DEFAULT_SEED: u64 = 20250;
 
-/// Which compiler / configuration to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum CompilerKind {
-    /// The Enola-style baseline (no storage zone, revert-to-initial routing).
-    Enola,
-    /// PowerMove with only the continuous router (non-storage case).
-    PowerMoveNonStorage,
-    /// Full PowerMove with the storage zone (with-storage case).
-    PowerMoveStorage,
+/// Registry id of the Enola baseline configuration.
+pub const ENOLA: &str = "enola";
+/// Registry id of the PowerMove non-storage configuration.
+pub const POWERMOVE_NON_STORAGE: &str = "powermove-non-storage";
+/// Registry id of the PowerMove with-storage configuration.
+pub const POWERMOVE_STORAGE: &str = "powermove-storage";
+
+/// One registered compilation strategy: a display id plus the backend.
+pub struct RegisteredBackend {
+    id: String,
+    backend: Box<dyn CompilerBackend>,
 }
 
-impl CompilerKind {
-    /// All three evaluation configurations, in Table 3 column order.
-    pub const ALL: [CompilerKind; 3] = [
-        CompilerKind::Enola,
-        CompilerKind::PowerMoveNonStorage,
-        CompilerKind::PowerMoveStorage,
-    ];
+impl RegisteredBackend {
+    /// The id under which the backend was registered, e.g.
+    /// `"powermove-storage"`.
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The backend itself.
+    #[must_use]
+    pub fn backend(&self) -> &dyn CompilerBackend {
+        &*self.backend
+    }
 }
 
-impl fmt::Display for CompilerKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            CompilerKind::Enola => write!(f, "enola"),
-            CompilerKind::PowerMoveNonStorage => write!(f, "powermove(non-storage)"),
-            CompilerKind::PowerMoveStorage => write!(f, "powermove(with-storage)"),
-        }
+/// An ordered, open collection of compiler backends.
+///
+/// The experiment binaries iterate over whatever is registered — there is no
+/// closed enum of compilers anywhere in the harness.
+///
+/// # Example
+///
+/// Registering a custom backend next to the standard three:
+///
+/// ```
+/// use powermove::{CompilerConfig, PowerMoveCompiler};
+/// use powermove_bench::BackendRegistry;
+///
+/// let mut registry = BackendRegistry::standard();
+/// registry.register(
+///     "powermove-no-grouping",
+///     Box::new(PowerMoveCompiler::new(
+///         CompilerConfig::default().without_grouping(),
+///     )),
+/// );
+/// assert_eq!(registry.len(), 4);
+/// assert!(registry.get("powermove-no-grouping").is_some());
+///
+/// // Every registered backend is driven identically.
+/// let instance = powermove_benchmarks::generate(
+///     powermove_benchmarks::BenchmarkFamily::Bv,
+///     8,
+///     powermove_bench::DEFAULT_SEED,
+/// );
+/// for entry in registry.iter() {
+///     let result = powermove_bench::run_instance(&instance, 1, entry);
+///     assert!(result.fidelity > 0.0);
+/// }
+/// ```
+#[derive(Default)]
+pub struct BackendRegistry {
+    entries: Vec<RegisteredBackend>,
+}
+
+impl BackendRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        BackendRegistry::default()
+    }
+
+    /// The three evaluation configurations of the paper, in Table 3 column
+    /// order: [`ENOLA`], [`POWERMOVE_NON_STORAGE`], [`POWERMOVE_STORAGE`].
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut registry = BackendRegistry::new();
+        registry.register(ENOLA, Box::new(EnolaCompiler::new(EnolaConfig::default())));
+        registry.register(
+            POWERMOVE_NON_STORAGE,
+            Box::new(PowerMoveCompiler::new(CompilerConfig::without_storage())),
+        );
+        registry.register(
+            POWERMOVE_STORAGE,
+            Box::new(PowerMoveCompiler::new(CompilerConfig::default())),
+        );
+        registry
+    }
+
+    /// Registers a backend under `id`, replacing any previous entry with the
+    /// same id.
+    pub fn register(&mut self, id: impl Into<String>, backend: Box<dyn CompilerBackend>) {
+        let id = id.into();
+        self.entries.retain(|e| e.id != id);
+        self.entries.push(RegisteredBackend { id, backend });
+    }
+
+    /// Looks up a registered entry by id.
+    #[must_use]
+    pub fn entry(&self, id: &str) -> Option<&RegisteredBackend> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Looks up a backend by id.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<&dyn CompilerBackend> {
+        self.entry(id).map(RegisteredBackend::backend)
+    }
+
+    /// Iterates over the registered backends in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &RegisteredBackend> {
+        self.entries.iter()
+    }
+
+    /// Number of registered backends.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
 /// The outcome of compiling and scoring one benchmark instance with one
-/// compiler configuration.
+/// registered backend.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunResult {
-    /// The compiler configuration.
-    pub compiler: CompilerKind,
+    /// Registry id of the backend, e.g. `"powermove-storage"`.
+    pub compiler: String,
     /// Benchmark name, e.g. `"QAOA-regular3-30"`.
     pub benchmark: String,
     /// Circuit width.
@@ -62,6 +167,8 @@ pub struct RunResult {
     pub execution_time_us: f64,
     /// Compilation wall-clock time in seconds.
     pub compile_time_s: f64,
+    /// Per-pass compilation timings reported by the backend.
+    pub pass_timings: Vec<PassTiming>,
     /// Number of Rydberg stages.
     pub stages: usize,
     /// Number of SLM↔AOD transfers.
@@ -72,8 +179,8 @@ pub struct RunResult {
     pub cz_gates: usize,
 }
 
-/// Compiles one benchmark instance with the given configuration and number
-/// of AOD arrays, then validates and scores the program.
+/// Compiles one benchmark instance with the given registered backend and
+/// number of AOD arrays, then validates and scores the program.
 ///
 /// # Panics
 ///
@@ -83,33 +190,49 @@ pub struct RunResult {
 pub fn run_instance(
     instance: &BenchmarkInstance,
     num_aods: usize,
-    kind: CompilerKind,
+    entry: &RegisteredBackend,
 ) -> RunResult {
     let arch = Architecture::for_qubits(instance.num_qubits).with_num_aods(num_aods);
-    let start = Instant::now();
-    let program: CompiledProgram = match kind {
-        CompilerKind::Enola => EnolaCompiler::new(EnolaConfig::default())
-            .compile(&instance.circuit, &arch)
-            .expect("enola compilation succeeds"),
-        CompilerKind::PowerMoveNonStorage => {
-            PowerMoveCompiler::new(CompilerConfig::without_storage())
-                .compile(&instance.circuit, &arch)
-                .expect("powermove compilation succeeds")
-        }
-        CompilerKind::PowerMoveStorage => PowerMoveCompiler::new(CompilerConfig::default())
-            .compile(&instance.circuit, &arch)
-            .expect("powermove compilation succeeds"),
-    };
-    let compile_time_s = start.elapsed().as_secs_f64();
-    let report = evaluate_program(&program).expect("compiled program is valid");
+    let start = std::time::Instant::now();
+    let program = entry
+        .backend()
+        .compile_circuit(&instance.circuit, &arch)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} compilation failed on {}: {e}",
+                entry.id(),
+                instance.name
+            )
+        });
+    let measured_compile_time_s = start.elapsed().as_secs_f64();
+    score_program(entry.id(), instance, &program, measured_compile_time_s)
+}
+
+/// Validates and scores an already-compiled program, labelling the result
+/// with `compiler_id`. `measured_compile_time_s` is used when the backend
+/// did not record a compile time in its metadata.
+///
+/// # Panics
+///
+/// Panics if validation fails (see [`run_instance`]).
+#[must_use]
+pub fn score_program(
+    compiler_id: &str,
+    instance: &BenchmarkInstance,
+    program: &powermove_schedule::CompiledProgram,
+    measured_compile_time_s: f64,
+) -> RunResult {
+    let metadata = program.metadata().clone();
+    let report = evaluate_program(program).expect("compiled program is valid");
     RunResult {
-        compiler: kind,
+        compiler: compiler_id.to_string(),
         benchmark: instance.name.clone(),
         num_qubits: instance.num_qubits,
         fidelity: report.fidelity_excluding_one_qubit(),
         breakdown: report.breakdown,
         execution_time_us: report.execution_time_us(),
-        compile_time_s,
+        compile_time_s: metadata.compile_time.unwrap_or(measured_compile_time_s),
+        pass_timings: metadata.pass_timings,
         stages: report.trace.rydberg_stage_count,
         transfers: report.trace.transfer_count,
         excitation_exposure: report.trace.excitation_exposure,
@@ -117,8 +240,21 @@ pub fn run_instance(
     }
 }
 
-/// One row of Table 3: the three configurations on one benchmark instance
-/// plus the improvement ratios the paper reports.
+/// Runs every backend of the registry on one benchmark instance.
+#[must_use]
+pub fn run_all(
+    instance: &BenchmarkInstance,
+    num_aods: usize,
+    registry: &BackendRegistry,
+) -> Vec<RunResult> {
+    registry
+        .iter()
+        .map(|entry| run_instance(instance, num_aods, entry))
+        .collect()
+}
+
+/// One row of Table 3: the three standard configurations on one benchmark
+/// instance plus the improvement ratios the paper reports.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table3Row {
     /// Benchmark name.
@@ -164,38 +300,91 @@ fn safe_ratio(numerator: f64, denominator: f64) -> f64 {
     }
 }
 
-/// Runs the three Table 3 configurations on one benchmark instance.
+/// Runs the three standard Table 3 configurations on one benchmark instance.
+///
+/// # Panics
+///
+/// Panics if compilation or validation fails (see [`run_instance`]).
 #[must_use]
 pub fn table3_row(instance: &BenchmarkInstance) -> Table3Row {
+    let registry = BackendRegistry::standard();
+    let row_for = |id: &str| {
+        run_instance(
+            instance,
+            1,
+            registry.entry(id).expect("standard backend registered"),
+        )
+    };
     Table3Row {
         benchmark: instance.name.clone(),
-        enola: run_instance(instance, 1, CompilerKind::Enola),
-        non_storage: run_instance(instance, 1, CompilerKind::PowerMoveNonStorage),
-        with_storage: run_instance(instance, 1, CompilerKind::PowerMoveStorage),
+        enola: row_for(ENOLA),
+        non_storage: row_for(POWERMOVE_NON_STORAGE),
+        with_storage: row_for(POWERMOVE_STORAGE),
     }
+}
+
+/// Extracts a `--json <path>` flag from a CLI argument list, removing both
+/// tokens when present. Every experiment binary uses this so results can be
+/// recorded as JSON next to the printed tables.
+pub fn take_json_path(args: &mut Vec<String>) -> Option<PathBuf> {
+    let index = args.iter().position(|a| a == "--json")?;
+    if index + 1 >= args.len() {
+        eprintln!("--json requires a path argument");
+        std::process::exit(2);
+    }
+    let path = PathBuf::from(args.remove(index + 1));
+    args.remove(index);
+    Some(path)
+}
+
+/// Serializes `value` as pretty-printed JSON to `path`.
+///
+/// # Panics
+///
+/// Panics on I/O errors; the experiment binaries treat an unwritable report
+/// path as fatal.
+pub fn write_json<T: Serialize>(path: &Path, value: &T) {
+    let json = serde_json::to_string_pretty(value).expect("serialization is infallible");
+    let mut file = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    file.write_all(json.as_bytes())
+        .and_then(|()| file.write_all(b"\n"))
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote JSON report to {}", path.display());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use powermove_benchmarks::{generate, BenchmarkFamily};
+    use powermove_schedule::CompiledProgram;
+
+    fn storage_entry() -> BackendRegistry {
+        BackendRegistry::standard()
+    }
 
     #[test]
     fn run_instance_produces_consistent_result() {
         let instance = generate(BenchmarkFamily::QaoaRegular3, 10, DEFAULT_SEED);
-        let result = run_instance(&instance, 1, CompilerKind::PowerMoveStorage);
+        let registry = storage_entry();
+        let result = run_instance(&instance, 1, registry.entry(POWERMOVE_STORAGE).unwrap());
         assert_eq!(result.num_qubits, 10);
         assert_eq!(result.cz_gates, 15);
         assert!(result.fidelity > 0.0 && result.fidelity <= 1.0);
         assert!(result.execution_time_us > 0.0);
         assert!(result.stages >= 3);
+        assert!(
+            result.pass_timings.iter().any(|t| t.pass == "route"),
+            "powermove results carry pass timings"
+        );
     }
 
     #[test]
     fn storage_mode_eliminates_exposure_on_benchmarks() {
         let instance = generate(BenchmarkFamily::Bv, 14, DEFAULT_SEED);
-        let with = run_instance(&instance, 1, CompilerKind::PowerMoveStorage);
-        let enola = run_instance(&instance, 1, CompilerKind::Enola);
+        let registry = storage_entry();
+        let with = run_instance(&instance, 1, registry.entry(POWERMOVE_STORAGE).unwrap());
+        let enola = run_instance(&instance, 1, registry.entry(ENOLA).unwrap());
         assert_eq!(with.excitation_exposure, 0);
         assert!(enola.excitation_exposure > 0);
     }
@@ -216,5 +405,78 @@ mod tests {
         assert!(row.execution_time_improvement() > 1.0);
         // The storage zone removes every excitation exposure.
         assert_eq!(row.with_storage.excitation_exposure, 0);
+    }
+
+    #[test]
+    fn registry_iterates_in_registration_order() {
+        let registry = BackendRegistry::standard();
+        let ids: Vec<&str> = registry.iter().map(RegisteredBackend::id).collect();
+        assert_eq!(ids, vec![ENOLA, POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE]);
+        assert_eq!(registry.len(), 3);
+        assert!(!registry.is_empty());
+        assert!(registry.get("nonexistent").is_none());
+    }
+
+    #[test]
+    fn registering_same_id_replaces() {
+        let mut registry = BackendRegistry::standard();
+        registry.register(
+            ENOLA,
+            Box::new(PowerMoveCompiler::new(CompilerConfig::default())),
+        );
+        assert_eq!(registry.len(), 3);
+        assert_eq!(registry.get(ENOLA).unwrap().name(), "powermove");
+    }
+
+    #[test]
+    fn custom_backend_participates_in_run_all() {
+        struct Fixed;
+        impl CompilerBackend for Fixed {
+            fn name(&self) -> &str {
+                "fixed"
+            }
+            fn config_description(&self) -> String {
+                "delegates to powermove defaults".to_string()
+            }
+            fn compile(
+                &self,
+                blocks: &powermove_circuit::BlockProgram,
+                arch: &Architecture,
+            ) -> Result<CompiledProgram, powermove::CompileError> {
+                PowerMoveCompiler::new(CompilerConfig::default())
+                    .compile_block_program(blocks, arch)
+            }
+        }
+
+        let mut registry = BackendRegistry::new();
+        registry.register("fixed", Box::new(Fixed));
+        let instance = generate(BenchmarkFamily::Bv, 8, DEFAULT_SEED);
+        let results = run_all(&instance, 1, &registry);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].compiler, "fixed");
+    }
+
+    #[test]
+    fn take_json_path_extracts_flag() {
+        let mut args = vec![
+            "QAOA".to_string(),
+            "--json".to_string(),
+            "out.json".to_string(),
+        ];
+        let path = take_json_path(&mut args);
+        assert_eq!(path, Some(PathBuf::from("out.json")));
+        assert_eq!(args, vec!["QAOA".to_string()]);
+        assert_eq!(take_json_path(&mut args), None);
+    }
+
+    #[test]
+    fn run_result_serializes_to_json() {
+        let instance = generate(BenchmarkFamily::Bv, 8, DEFAULT_SEED);
+        let registry = storage_entry();
+        let result = run_instance(&instance, 1, registry.entry(ENOLA).unwrap());
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(json.contains("\"compiler\":\"enola\""));
+        assert!(json.contains("\"fidelity\""));
+        assert!(json.contains("\"pass_timings\""));
     }
 }

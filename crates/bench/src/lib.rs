@@ -12,9 +12,14 @@
 //! * `fig7` — execution time and fidelity versus the number of AOD arrays
 //!   (Fig. 7).
 //!
-//! Each binary prints a plain-text table (and optionally JSON) so results
-//! can be compared against the numbers reported in the paper; see
-//! `EXPERIMENTS.md` at the workspace root.
+//! Each binary prints a plain-text table and accepts a `--json <path>` flag
+//! that serializes the underlying result structs, so results can be compared
+//! against the numbers reported in the paper and recorded as trajectories.
+//!
+//! Compilers are dispatched through the open [`BackendRegistry`]: every
+//! entry is a [`CompilerBackend`](powermove::CompilerBackend) trait object,
+//! so additional strategies (ablations, new routers) can be registered
+//! without modifying any experiment binary.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -22,5 +27,7 @@
 pub mod harness;
 
 pub use harness::{
-    run_instance, table3_row, CompilerKind, RunResult, Table3Row, DEFAULT_SEED,
+    run_all, run_instance, score_program, table3_row, take_json_path, write_json, BackendRegistry,
+    RegisteredBackend, RunResult, Table3Row, DEFAULT_SEED, ENOLA, POWERMOVE_NON_STORAGE,
+    POWERMOVE_STORAGE,
 };

@@ -20,7 +20,10 @@ use rand::SeedableRng;
 /// Panics if `num_qubits < 2`.
 #[must_use]
 pub fn bernstein_vazirani(num_qubits: u32, seed: u64) -> Circuit {
-    assert!(num_qubits >= 2, "BV needs at least one data qubit and one ancilla");
+    assert!(
+        num_qubits >= 2,
+        "BV needs at least one data qubit and one ancilla"
+    );
     let data = num_qubits - 1;
     let ancilla = Qubit::new(num_qubits - 1);
 
@@ -37,7 +40,8 @@ pub fn bernstein_vazirani(num_qubits: u32, seed: u64) -> Circuit {
     c.h(ancilla).expect("ancilla in range");
     for (i, &bit) in secret.iter().enumerate() {
         if bit {
-            c.cnot(Qubit::new(i as u32), ancilla).expect("qubits in range");
+            c.cnot(Qubit::new(i as u32), ancilla)
+                .expect("qubits in range");
         }
     }
     for i in 0..data {

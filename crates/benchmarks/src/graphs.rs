@@ -18,14 +18,16 @@ use rand::{Rng, SeedableRng};
 pub fn random_regular_graph(n: u32, d: u32, seed: u64) -> Vec<(u32, u32)> {
     assert!(d < n, "degree {d} must be smaller than vertex count {n}");
     assert!(
-        (n * d) % 2 == 0,
+        (n * d).is_multiple_of(2),
         "n*d must be even for a {d}-regular graph on {n} vertices"
     );
     let mut rng = StdRng::seed_from_u64(seed);
     // Pairing model with full restarts on failure. The expected number of
     // restarts is O(e^(d^2/4)), tiny for d in {3, 4}.
     loop {
-        let mut stubs: Vec<u32> = (0..n).flat_map(|v| std::iter::repeat(v).take(d as usize)).collect();
+        let mut stubs: Vec<u32> = (0..n)
+            .flat_map(|v| std::iter::repeat_n(v, d as usize))
+            .collect();
         stubs.shuffle(&mut rng);
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity((n * d / 2) as usize);
         let mut seen = std::collections::HashSet::new();
@@ -95,8 +97,14 @@ mod tests {
 
     #[test]
     fn regular_graph_is_deterministic_per_seed() {
-        assert_eq!(random_regular_graph(20, 3, 5), random_regular_graph(20, 3, 5));
-        assert_ne!(random_regular_graph(20, 3, 5), random_regular_graph(20, 3, 6));
+        assert_eq!(
+            random_regular_graph(20, 3, 5),
+            random_regular_graph(20, 3, 5)
+        );
+        assert_ne!(
+            random_regular_graph(20, 3, 5),
+            random_regular_graph(20, 3, 6)
+        );
     }
 
     #[test]

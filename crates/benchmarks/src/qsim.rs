@@ -53,12 +53,14 @@ fn append_pauli_rotation(c: &mut Circuit, support: &[(u32, u8)], angle: f64) {
     } else {
         // CNOT ladder onto the last involved qubit, Rz, then un-compute.
         for w in support.windows(2) {
-            c.cnot(Qubit::new(w[0].0), Qubit::new(w[1].0)).expect("in range");
+            c.cnot(Qubit::new(w[0].0), Qubit::new(w[1].0))
+                .expect("in range");
         }
         c.rz(Qubit::new(support[support.len() - 1].0), angle)
             .expect("in range");
         for w in support.windows(2).rev() {
-            c.cnot(Qubit::new(w[0].0), Qubit::new(w[1].0)).expect("in range");
+            c.cnot(Qubit::new(w[0].0), Qubit::new(w[1].0))
+                .expect("in range");
         }
     }
     // Undo basis changes.

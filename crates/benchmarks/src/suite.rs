@@ -1,7 +1,9 @@
 //! The benchmark suite of Table 2.
 
-use crate::{bernstein_vazirani, qaoa_random, qaoa_regular, qft, qsim_random, vqe_ansatz,
-            EntanglementPattern};
+use crate::{
+    bernstein_vazirani, qaoa_random, qaoa_regular, qft, qsim_random, vqe_ansatz,
+    EntanglementPattern,
+};
 use powermove_circuit::Circuit;
 use powermove_hardware::Architecture;
 use serde::{Deserialize, Serialize};

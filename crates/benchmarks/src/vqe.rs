@@ -57,7 +57,8 @@ pub fn vqe_ansatz(
                     c.cz(Qubit::new(i), Qubit::new(i + 1)).expect("in range");
                 }
                 if num_qubits > 2 {
-                    c.cz(Qubit::new(num_qubits - 1), Qubit::new(0)).expect("in range");
+                    c.cz(Qubit::new(num_qubits - 1), Qubit::new(0))
+                        .expect("in range");
                 }
             }
             EntanglementPattern::Full => {

@@ -112,10 +112,7 @@ impl CzBlock {
     /// The set of qubits touched by at least one gate of the block.
     #[must_use]
     pub fn interacting_qubits(&self) -> BTreeSet<Qubit> {
-        self.gates
-            .iter()
-            .flat_map(|g| g.qubits())
-            .collect()
+        self.gates.iter().flat_map(|g| g.qubits()).collect()
     }
 
     /// Maximum number of gates sharing a single qubit; a lower bound on the
@@ -432,10 +429,7 @@ mod tests {
 
     #[test]
     fn interacting_qubits_of_block() {
-        let block = CzBlock::from_gates(vec![
-            CzGate::new(q(0), q(1)),
-            CzGate::new(q(3), q(4)),
-        ]);
+        let block = CzBlock::from_gates(vec![CzGate::new(q(0), q(1)), CzGate::new(q(3), q(4))]);
         let qs = block.interacting_qubits();
         assert_eq!(qs.len(), 4);
         assert!(qs.contains(&q(0)));

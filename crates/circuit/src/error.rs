@@ -61,7 +61,9 @@ mod tests {
         };
         assert!(e.to_string().contains("q2"));
 
-        assert!(CircuitError::EmptyCircuit.to_string().contains("at least one"));
+        assert!(CircuitError::EmptyCircuit
+            .to_string()
+            .contains("at least one"));
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl InteractionGraph {
     /// Maximum degree over all qubits.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        self.adjacency.values().map(BTreeSet::len).max().unwrap_or(0)
+        self.adjacency
+            .values()
+            .map(BTreeSet::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The neighbours of a qubit.
@@ -204,10 +208,7 @@ mod tests {
 
     #[test]
     fn repeated_edges_deduplicated() {
-        let block = CzBlock::from_gates(vec![
-            CzGate::new(q(0), q(1)),
-            CzGate::new(q(1), q(0)),
-        ]);
+        let block = CzBlock::from_gates(vec![CzGate::new(q(0), q(1)), CzGate::new(q(1), q(0))]);
         let g = InteractionGraph::from_block(&block);
         assert_eq!(g.num_edges(), 1);
     }

@@ -37,7 +37,9 @@ impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QasmError::MissingHeader => write!(f, "missing OPENQASM header or qreg declaration"),
-            QasmError::Malformed { line, text } => write!(f, "malformed statement at line {line}: {text}"),
+            QasmError::Malformed { line, text } => {
+                write!(f, "malformed statement at line {line}: {text}")
+            }
             QasmError::UnsupportedGate { line, gate } => {
                 write!(f, "unsupported gate `{gate}` at line {line}")
             }
@@ -153,12 +155,7 @@ fn parse_qubit_refs(args: &str) -> Option<Vec<u32>> {
         .collect()
 }
 
-fn parse_gate(
-    circuit: &mut Circuit,
-    stmt: &str,
-    line: usize,
-    raw: &str,
-) -> Result<(), QasmError> {
+fn parse_gate(circuit: &mut Circuit, stmt: &str, line: usize, raw: &str) -> Result<(), QasmError> {
     let malformed = || QasmError::Malformed {
         line,
         text: raw.to_string(),

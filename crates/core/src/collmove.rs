@@ -14,10 +14,7 @@ use powermove_schedule::{CollMove, Instruction, SiteMove};
 /// layout transition protected from decoherence. The sort is stable, so
 /// groups with equal score keep their creation order.
 #[must_use]
-pub fn order_coll_moves(
-    groups: Vec<Vec<SiteMove>>,
-    arch: &Architecture,
-) -> Vec<Vec<SiteMove>> {
+pub fn order_coll_moves(groups: Vec<Vec<SiteMove>>, arch: &Architecture) -> Vec<Vec<SiteMove>> {
     let grid = arch.grid();
     let score = |group: &[SiteMove]| -> i64 {
         let n_in = group
@@ -41,10 +38,7 @@ pub fn order_coll_moves(
 /// the pick-up/drop-off transfer time plus the longest translation among its
 /// members.
 #[must_use]
-pub fn pack_move_groups(
-    ordered: Vec<Vec<SiteMove>>,
-    num_aods: usize,
-) -> Vec<Instruction> {
+pub fn pack_move_groups(ordered: Vec<Vec<SiteMove>>, num_aods: usize) -> Vec<Instruction> {
     let width = num_aods.max(1);
     ordered
         .chunks(width)

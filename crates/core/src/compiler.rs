@@ -1,27 +1,34 @@
 //! The end-to-end PowerMove compilation pipeline.
 
-use crate::{
-    group_moves, order_coll_moves, pack_move_groups, partition_stages, schedule_stages,
-    CompileError, CompilerConfig, Router,
+use crate::pipeline::{
+    CompileContext, CompilerBackend, MovePass, RoutePass, StagePass, SynthesisPass,
 };
-use powermove_circuit::{BlockProgram, Circuit, Segment};
-use powermove_hardware::{Architecture, Zone};
-use powermove_schedule::{CompileMetadata, CompiledProgram, Instruction, Layout};
-use std::time::Instant;
+use crate::{CompileError, CompilerConfig};
+use powermove_circuit::{BlockProgram, Circuit};
+use powermove_hardware::Architecture;
+use powermove_schedule::CompiledProgram;
 
 /// The PowerMove compiler.
 ///
-/// The pipeline is:
+/// Compilation runs the pass pipeline of [`crate::pipeline`]:
 ///
-/// 1. synthesize the circuit into alternating 1Q layers and commuting CZ
-///    blocks;
-/// 2. per block, partition the gates into Rydberg stages (edge colouring)
-///    and order the stages to minimize inter-zone interchange;
-/// 3. per stage, run the continuous router to obtain the direct layout
-///    transition, group the single-qubit moves into AOD-compatible
-///    collective moves, order them for maximum storage dwell time and pack
-///    them onto the available AOD arrays;
-/// 4. emit the move groups followed by the global Rydberg excitation.
+/// 1. [`SynthesisPass`]: synthesize the circuit into alternating 1Q layers
+///    and commuting CZ blocks;
+/// 2. [`StagePass`]: per block, partition the gates into Rydberg stages
+///    (edge colouring) and order the stages to minimize inter-zone
+///    interchange;
+/// 3. [`RoutePass`]: per stage, run the continuous router to obtain the
+///    direct layout transition;
+/// 4. [`MovePass`]: group the single-qubit moves into AOD-compatible
+///    collective moves, order them for maximum storage dwell time, pack them
+///    onto the available AOD arrays, and emit the move groups followed by
+///    the global Rydberg excitation.
+///
+/// Each pass reports wall-clock timing and work counters through a shared
+/// [`CompileContext`]; the result lands in the program's
+/// [`CompileMetadata`](powermove_schedule::CompileMetadata). The compiler
+/// implements [`CompilerBackend`], so it can be registered with the
+/// experiment harness as a trait object next to other strategies.
 ///
 /// # Example
 ///
@@ -72,12 +79,10 @@ impl PowerMoveCompiler {
         circuit: &Circuit,
         arch: &Architecture,
     ) -> Result<CompiledProgram, CompileError> {
-        let start = Instant::now();
-        let n = circuit.num_qubits();
-        arch.check_capacity(n)?;
-
-        let block_program = BlockProgram::from_circuit(circuit);
-        self.compile_blocks(&block_program, arch, n, start)
+        let mut ctx = CompileContext::new();
+        arch.check_capacity(circuit.num_qubits())?;
+        let block_program = SynthesisPass.run(circuit, &mut ctx);
+        self.compile_with_context(&block_program, arch, ctx)
     }
 
     /// Compiles an already-synthesized block program.
@@ -90,80 +95,60 @@ impl PowerMoveCompiler {
         block_program: &BlockProgram,
         arch: &Architecture,
     ) -> Result<CompiledProgram, CompileError> {
-        let start = Instant::now();
+        let ctx = CompileContext::new();
         arch.check_capacity(block_program.num_qubits())?;
-        self.compile_blocks(block_program, arch, block_program.num_qubits(), start)
+        self.compile_with_context(block_program, arch, ctx)
     }
 
-    fn compile_blocks(
+    /// Runs the `StagePass → RoutePass → MovePass → emission` tail of the
+    /// pipeline over an existing [`CompileContext`].
+    fn compile_with_context(
         &self,
         block_program: &BlockProgram,
         arch: &Architecture,
-        num_qubits: u32,
-        start: Instant,
+        mut ctx: CompileContext,
     ) -> Result<CompiledProgram, CompileError> {
-        // Initial layout: entirely in storage for the with-storage mode
-        // (Sec. 4.2), row-major in the computation zone otherwise.
-        let initial_zone = if self.config.use_storage && arch.grid().num_storage_sites() > 0 {
-            Zone::Storage
-        } else {
-            Zone::Compute
-        };
-        let initial_layout = Layout::row_major(arch, num_qubits, initial_zone)
-            .map_err(|_| CompileError::Hardware(
-                powermove_hardware::HardwareError::InsufficientCapacity {
-                    qubits: num_qubits,
-                    sites: arch.grid().num_sites(),
-                },
-            ))?;
+        let staged = StagePass::new(self.config.alpha).run(block_program, &mut ctx);
+        let routed = RoutePass::new(self.config.use_storage).run(&staged, arch, &mut ctx)?;
+        let instructions = MovePass::new(self.config.use_grouping).run(&routed, arch, &mut ctx);
 
-        let mut router = Router::new(
+        let metadata = ctx.finish("powermove", self.config.use_storage, staged.num_stages());
+        Ok(CompiledProgram::new(
             arch.clone(),
-            initial_layout.clone(),
-            self.config.use_storage && initial_zone == Zone::Storage,
-        );
-        let mut instructions: Vec<Instruction> = Vec::new();
-        let mut num_stages = 0_usize;
-
-        for segment in block_program.segments() {
-            match segment {
-                Segment::OneQubit(layer) => {
-                    instructions.push(Instruction::one_qubit_layer(layer.gates().to_vec()));
-                }
-                Segment::Cz(block) => {
-                    let stages = partition_stages(block);
-                    let stages = schedule_stages(stages, self.config.alpha);
-                    for stage in &stages {
-                        let routing = router.route_stage(stage)?;
-                        // Storage-bound (and separation) moves are grouped
-                        // and emitted strictly before the interaction moves:
-                        // this realizes the move-in-first policy of Sec. 6.1
-                        // and guarantees that a site vacated towards storage
-                        // is free before an interaction arrives at it.
-                        let mut ordered =
-                            order_coll_moves(group_moves(&routing.storage_moves, arch), arch);
-                        ordered.extend(order_coll_moves(
-                            group_moves(&routing.interaction_moves, arch),
-                            arch,
-                        ));
-                        instructions.extend(pack_move_groups(ordered, arch.num_aods()));
-                        instructions.push(Instruction::rydberg(stage.gates().to_vec()));
-                        num_stages += 1;
-                    }
-                }
-            }
-        }
-
-        let metadata = CompileMetadata {
-            compiler: "powermove".to_string(),
-            compile_time: Some(start.elapsed().as_secs_f64()),
-            uses_storage: self.config.use_storage,
-            num_stages,
-        };
-        Ok(
-            CompiledProgram::new(arch.clone(), num_qubits, initial_layout, instructions)
-                .with_metadata(metadata),
+            routed.num_qubits(),
+            routed.initial_layout().clone(),
+            instructions,
         )
+        .with_metadata(metadata))
+    }
+}
+
+impl CompilerBackend for PowerMoveCompiler {
+    fn name(&self) -> &str {
+        "powermove"
+    }
+
+    fn config_description(&self) -> String {
+        format!(
+            "storage={}, alpha={}, grouping={}",
+            self.config.use_storage, self.config.alpha, self.config.use_grouping
+        )
+    }
+
+    fn compile(
+        &self,
+        blocks: &BlockProgram,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, CompileError> {
+        self.compile_block_program(blocks, arch)
+    }
+
+    fn compile_circuit(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, CompileError> {
+        PowerMoveCompiler::compile(self, circuit, arch)
     }
 }
 
@@ -185,7 +170,9 @@ mod tests {
         } else {
             CompilerConfig::without_storage()
         };
-        PowerMoveCompiler::new(config).compile(circuit, &arch).unwrap()
+        PowerMoveCompiler::new(config)
+            .compile(circuit, &arch)
+            .unwrap()
     }
 
     fn ring_circuit(n: u32) -> Circuit {
@@ -274,8 +261,8 @@ mod tests {
     #[test]
     fn capacity_error_is_reported() {
         let c = ring_circuit(10);
-        let tiny =
-            Architecture::for_qubits(10).with_grid(powermove_hardware::ZonedGrid::with_dims(2, 2, 4).unwrap());
+        let tiny = Architecture::for_qubits(10)
+            .with_grid(powermove_hardware::ZonedGrid::with_dims(2, 2, 4).unwrap());
         let result = PowerMoveCompiler::new(CompilerConfig::default()).compile(&c, &tiny);
         assert!(matches!(result, Err(CompileError::Hardware(_))));
     }

@@ -17,6 +17,10 @@ pub struct CompilerConfig {
     /// Weight `α < 1` of the "move-out" term in the stage-scheduling
     /// difference metric `|Q_i \ Q_{i+1}| + α·|Q_{i+1} \ Q_i|` (Sec. 4.2).
     pub alpha: f64,
+    /// Whether single-qubit moves are grouped into AOD-compatible collective
+    /// moves (Sec. 6). Disabled only by the grouping-ablation configuration,
+    /// which emits every move as its own collective move.
+    pub use_grouping: bool,
 }
 
 impl CompilerConfig {
@@ -42,6 +46,15 @@ impl CompilerConfig {
         self.alpha = alpha;
         self
     }
+
+    /// Disables collective-move grouping (the grouping-ablation
+    /// configuration): every single-qubit move becomes its own collective
+    /// move.
+    #[must_use]
+    pub fn without_grouping(mut self) -> Self {
+        self.use_grouping = false;
+        self
+    }
 }
 
 impl Default for CompilerConfig {
@@ -49,6 +62,7 @@ impl Default for CompilerConfig {
         CompilerConfig {
             use_storage: true,
             alpha: 0.5,
+            use_grouping: true,
         }
     }
 }
@@ -76,5 +90,13 @@ mod tests {
     fn with_alpha_overrides() {
         let c = CompilerConfig::default().with_alpha(0.25);
         assert_eq!(c.alpha, 0.25);
+    }
+
+    #[test]
+    fn grouping_is_on_by_default_and_can_be_ablated() {
+        assert!(CompilerConfig::default().use_grouping);
+        let c = CompilerConfig::default().without_grouping();
+        assert!(!c.use_grouping);
+        assert!(c.use_storage, "grouping ablation leaves storage on");
     }
 }

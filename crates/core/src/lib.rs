@@ -18,9 +18,14 @@
 //!   maximize storage-zone dwell time and packs them onto multiple AOD
 //!   arrays ([`order_coll_moves`], [`pack_move_groups`]).
 //!
-//! [`PowerMoveCompiler`] ties the components together and produces a
+//! [`PowerMoveCompiler`] ties the components together as an explicit pass
+//! pipeline ([`pipeline`]: [`SynthesisPass`] → [`StagePass`] → [`RoutePass`]
+//! → [`MovePass`] → emission) and produces a
 //! [`CompiledProgram`](powermove_schedule::CompiledProgram) that can be
 //! validated, timed and scored by `powermove-schedule` / `powermove-fidelity`.
+//! The [`CompilerBackend`] trait is the open entry point through which the
+//! experiment harness drives this compiler, the Enola baseline and any
+//! future strategy uniformly.
 //!
 //! # Example
 //!
@@ -53,6 +58,7 @@ mod compiler;
 mod config;
 mod error;
 mod grouping;
+pub mod pipeline;
 mod router;
 mod stage_partition;
 mod stage_schedule;
@@ -63,6 +69,10 @@ pub use compiler::PowerMoveCompiler;
 pub use config::CompilerConfig;
 pub use error::CompileError;
 pub use grouping::group_moves;
+pub use pipeline::{
+    CompileContext, CompilerBackend, MovePass, RoutePass, RoutedProgram, RoutedSegment,
+    RoutedStage, StagePass, StagedProgram, StagedSegment, SynthesisPass,
+};
 pub use router::{Router, StageRouting};
 pub use stage_partition::{partition_stages, Stage};
 pub use stage_schedule::schedule_stages;

@@ -1,0 +1,712 @@
+//! The open compiler abstraction and the PowerMove pass pipeline.
+//!
+//! Compilation is organized as a sequence of explicit, individually testable
+//! passes over progressively lower-level program representations:
+//!
+//! ```text
+//! Circuit ──SynthesisPass──▶ BlockProgram ──StagePass──▶ StagedProgram
+//!         ──RoutePass──▶ RoutedProgram ──MovePass──▶ Vec<Instruction>
+//!         ──emission──▶ CompiledProgram
+//! ```
+//!
+//! Every pass shares a [`CompileContext`] that accumulates per-pass
+//! wall-clock timings and work counters; the context is folded into the
+//! produced program's [`CompileMetadata`] so downstream tooling (the
+//! `diagnostics` experiment binary, JSON reports) can attribute compilation
+//! time to pipeline phases.
+//!
+//! The [`CompilerBackend`] trait is the open entry point tying it together:
+//! any compiler that lowers a [`BlockProgram`] onto an [`Architecture`] can
+//! implement it and participate in the experiment harness alongside
+//! [`PowerMoveCompiler`](crate::PowerMoveCompiler) and the Enola baseline —
+//! no harness changes required.
+
+use crate::{
+    group_moves, order_coll_moves, pack_move_groups, partition_stages, schedule_stages,
+    CompileError, Router, Stage, StageRouting,
+};
+use powermove_circuit::{BlockProgram, Circuit, OneQubitGate, Qubit, Segment};
+use powermove_hardware::{Architecture, Zone};
+use powermove_schedule::{
+    CompileMetadata, CompiledProgram, Instruction, Layout, PassCounter, PassTiming,
+};
+use std::time::Instant;
+
+/// A compiler that lowers block programs onto a neutral-atom machine.
+///
+/// Implementations are registered with the experiment harness as trait
+/// objects, so new compilation strategies (ablations, alternative routers,
+/// external baselines) drop in without touching harness dispatch code.
+///
+/// # Example
+///
+/// A minimal custom backend that delegates to PowerMove but reports its own
+/// name:
+///
+/// ```
+/// use powermove::{
+///     CompileError, CompilerBackend, CompilerConfig, PowerMoveCompiler,
+/// };
+/// use powermove_circuit::BlockProgram;
+/// use powermove_hardware::Architecture;
+/// use powermove_schedule::CompiledProgram;
+///
+/// struct MyBackend(PowerMoveCompiler);
+///
+/// impl CompilerBackend for MyBackend {
+///     fn name(&self) -> &str {
+///         "my-backend"
+///     }
+///     fn config_description(&self) -> String {
+///         "powermove with default config".to_string()
+///     }
+///     fn compile(
+///         &self,
+///         blocks: &BlockProgram,
+///         arch: &Architecture,
+///     ) -> Result<CompiledProgram, CompileError> {
+///         self.0.compile_block_program(blocks, arch)
+///     }
+/// }
+///
+/// let backend = MyBackend(PowerMoveCompiler::new(CompilerConfig::default()));
+/// let mut circuit = powermove_circuit::Circuit::new(2);
+/// circuit.cz(powermove_circuit::Qubit::new(0), powermove_circuit::Qubit::new(1))?;
+/// let program = backend.compile_circuit(&circuit, &Architecture::for_qubits(2))?;
+/// assert_eq!(program.cz_gate_count(), 1);
+/// # Ok::<(), powermove::CompileError>(())
+/// ```
+pub trait CompilerBackend {
+    /// Short identifier of the compilation strategy, e.g. `"powermove"`.
+    fn name(&self) -> &str;
+
+    /// Human-readable description of the active configuration.
+    fn config_description(&self) -> String;
+
+    /// Compiles an already-synthesized block program for `arch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the machine cannot host the program or
+    /// the backend fails to lower it.
+    fn compile(
+        &self,
+        blocks: &BlockProgram,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, CompileError>;
+
+    /// Convenience entry point: synthesizes `circuit` into blocks, then
+    /// compiles it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompilerBackend::compile`].
+    fn compile_circuit(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, CompileError> {
+        let blocks = BlockProgram::from_circuit(circuit);
+        self.compile(&blocks, arch)
+    }
+}
+
+/// Shared state threaded through the pipeline passes: wall-clock timings and
+/// work counters, folded into [`CompileMetadata`] at emission.
+#[derive(Debug, Default)]
+pub struct CompileContext {
+    started: Option<Instant>,
+    timings: Vec<PassTiming>,
+    counters: Vec<PassCounter>,
+}
+
+impl CompileContext {
+    /// Creates a context and starts the end-to-end compilation clock.
+    #[must_use]
+    pub fn new() -> Self {
+        CompileContext {
+            started: Some(Instant::now()),
+            timings: Vec::new(),
+            counters: Vec::new(),
+        }
+    }
+
+    /// Runs `f`, attributing its wall-clock time to the named pass.
+    ///
+    /// Repeated calls with the same name accumulate, so a pass may be timed
+    /// incrementally (e.g. once per block).
+    pub fn time<T>(&mut self, pass: &str, f: impl FnOnce(&mut Self) -> T) -> T {
+        let start = Instant::now();
+        let result = f(self);
+        let seconds = start.elapsed().as_secs_f64();
+        if let Some(entry) = self.timings.iter_mut().find(|t| t.pass == pass) {
+            entry.seconds += seconds;
+        } else {
+            self.timings.push(PassTiming {
+                pass: pass.to_string(),
+                seconds,
+            });
+        }
+        result
+    }
+
+    /// Adds `amount` to the named work counter.
+    pub fn count(&mut self, name: &str, amount: u64) {
+        if let Some(entry) = self.counters.iter_mut().find(|c| c.name == name) {
+            entry.value += amount;
+        } else {
+            self.counters.push(PassCounter {
+                name: name.to_string(),
+                value: amount,
+            });
+        }
+    }
+
+    /// The pass timings recorded so far, in first-recorded order.
+    #[must_use]
+    pub fn timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
+    /// The work counters recorded so far.
+    #[must_use]
+    pub fn counters(&self) -> &[PassCounter] {
+        &self.counters
+    }
+
+    /// Folds the context into program metadata, closing the end-to-end clock.
+    #[must_use]
+    pub fn finish(self, compiler: &str, uses_storage: bool, num_stages: usize) -> CompileMetadata {
+        CompileMetadata {
+            compiler: compiler.to_string(),
+            compile_time: self.started.map(|s| s.elapsed().as_secs_f64()),
+            uses_storage,
+            num_stages,
+            pass_timings: self.timings,
+            counters: self.counters,
+        }
+    }
+}
+
+/// Pass 1: synthesizes a gate-level circuit into alternating 1Q layers and
+/// commuting CZ blocks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SynthesisPass;
+
+impl SynthesisPass {
+    /// Name under which the pass reports its timing.
+    pub const NAME: &'static str = "synthesis";
+
+    /// Runs the pass.
+    #[must_use]
+    pub fn run(&self, circuit: &Circuit, ctx: &mut CompileContext) -> BlockProgram {
+        ctx.time(Self::NAME, |ctx| {
+            let blocks = BlockProgram::from_circuit(circuit);
+            ctx.count("cz_blocks", blocks.cz_blocks().count() as u64);
+            blocks
+        })
+    }
+}
+
+/// One segment of a [`StagedProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StagedSegment {
+    /// A layer of single-qubit gates, passed through unchanged.
+    OneQubit(Vec<(Qubit, OneQubitGate)>),
+    /// A commuting CZ block partitioned into ordered Rydberg stages.
+    Stages(Vec<Stage>),
+}
+
+/// The output of [`StagePass`]: the block program with every CZ block
+/// partitioned into Rydberg stages and the stages ordered to minimize
+/// inter-zone interchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedProgram {
+    num_qubits: u32,
+    segments: Vec<StagedSegment>,
+}
+
+impl StagedProgram {
+    /// Program width in qubits.
+    #[must_use]
+    pub const fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The staged segments in program order.
+    #[must_use]
+    pub fn segments(&self) -> &[StagedSegment] {
+        &self.segments
+    }
+
+    /// Total number of Rydberg stages across all CZ blocks.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                StagedSegment::Stages(stages) => stages.len(),
+                StagedSegment::OneQubit(_) => 0,
+            })
+            .sum()
+    }
+}
+
+/// Pass 2: partitions each commuting CZ block into Rydberg stages via
+/// optimized edge colouring and orders the stages by the `α`-weighted
+/// interchange metric (Sec. 4 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct StagePass {
+    alpha: f64,
+}
+
+impl StagePass {
+    /// Name under which the pass reports its timing.
+    pub const NAME: &'static str = "stage";
+
+    /// Creates the pass with the stage-scheduling weight `α`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        StagePass { alpha }
+    }
+
+    /// Runs the pass.
+    #[must_use]
+    pub fn run(&self, blocks: &BlockProgram, ctx: &mut CompileContext) -> StagedProgram {
+        ctx.time(Self::NAME, |ctx| {
+            let segments = blocks
+                .segments()
+                .iter()
+                .map(|segment| match segment {
+                    Segment::OneQubit(layer) => StagedSegment::OneQubit(layer.gates().to_vec()),
+                    Segment::Cz(block) => {
+                        let stages = schedule_stages(partition_stages(block), self.alpha);
+                        ctx.count("stages", stages.len() as u64);
+                        StagedSegment::Stages(stages)
+                    }
+                })
+                .collect();
+            StagedProgram {
+                num_qubits: blocks.num_qubits(),
+                segments,
+            }
+        })
+    }
+}
+
+/// One segment of a [`RoutedProgram`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoutedSegment {
+    /// A layer of single-qubit gates, passed through unchanged.
+    OneQubit(Vec<(Qubit, OneQubitGate)>),
+    /// One Rydberg stage together with its layout-transition plan.
+    Stage(RoutedStage),
+}
+
+/// A stage paired with the movement plan that realizes its layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedStage {
+    /// The Rydberg stage.
+    pub stage: Stage,
+    /// The continuous router's movement plan for the stage transition.
+    pub routing: StageRouting,
+}
+
+/// The output of [`RoutePass`]: the staged program plus, per stage, the
+/// direct layout-transition plan computed by the continuous router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedProgram {
+    num_qubits: u32,
+    initial_layout: Layout,
+    uses_storage: bool,
+    segments: Vec<RoutedSegment>,
+}
+
+impl RoutedProgram {
+    /// Program width in qubits.
+    #[must_use]
+    pub const fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The qubit layout before the first instruction.
+    #[must_use]
+    pub fn initial_layout(&self) -> &Layout {
+        &self.initial_layout
+    }
+
+    /// Whether the storage zone is in use.
+    #[must_use]
+    pub const fn uses_storage(&self) -> bool {
+        self.uses_storage
+    }
+
+    /// The routed segments in program order.
+    #[must_use]
+    pub fn segments(&self) -> &[RoutedSegment] {
+        &self.segments
+    }
+}
+
+/// Pass 3: runs the continuous router over every stage, producing the direct
+/// layout transitions (no reversion to an initial layout, Sec. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct RoutePass {
+    use_storage: bool,
+}
+
+impl RoutePass {
+    /// Name under which the pass reports its timing.
+    pub const NAME: &'static str = "route";
+
+    /// Creates the pass; `use_storage` parks idle qubits in the storage zone.
+    #[must_use]
+    pub fn new(use_storage: bool) -> Self {
+        RoutePass { use_storage }
+    }
+
+    /// Runs the pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Hardware`] if the machine cannot host the
+    /// program, or [`CompileError::NoFreeSite`] if the router runs out of
+    /// free sites.
+    pub fn run(
+        &self,
+        staged: &StagedProgram,
+        arch: &Architecture,
+        ctx: &mut CompileContext,
+    ) -> Result<RoutedProgram, CompileError> {
+        ctx.time(Self::NAME, |ctx| {
+            let num_qubits = staged.num_qubits();
+            // Initial layout: entirely in storage for the with-storage mode
+            // (Sec. 4.2), row-major in the computation zone otherwise.
+            let initial_zone = if self.use_storage && arch.grid().num_storage_sites() > 0 {
+                Zone::Storage
+            } else {
+                Zone::Compute
+            };
+            let initial_layout =
+                Layout::row_major(arch, num_qubits, initial_zone).map_err(|_| {
+                    CompileError::Hardware(
+                        powermove_hardware::HardwareError::InsufficientCapacity {
+                            qubits: num_qubits,
+                            sites: arch.grid().num_sites(),
+                        },
+                    )
+                })?;
+            let uses_storage = self.use_storage && initial_zone == Zone::Storage;
+
+            let mut router = Router::new(arch.clone(), initial_layout.clone(), uses_storage);
+            let mut segments = Vec::with_capacity(staged.segments().len());
+            for segment in staged.segments() {
+                match segment {
+                    StagedSegment::OneQubit(gates) => {
+                        segments.push(RoutedSegment::OneQubit(gates.clone()));
+                    }
+                    StagedSegment::Stages(stages) => {
+                        for stage in stages {
+                            let routing = router.route_stage(stage)?;
+                            ctx.count("storage_moves", routing.storage_moves.len() as u64);
+                            ctx.count("interaction_moves", routing.interaction_moves.len() as u64);
+                            segments.push(RoutedSegment::Stage(RoutedStage {
+                                stage: stage.clone(),
+                                routing,
+                            }));
+                        }
+                    }
+                }
+            }
+            Ok(RoutedProgram {
+                num_qubits,
+                initial_layout,
+                uses_storage,
+                segments,
+            })
+        })
+    }
+}
+
+/// Pass 4: groups each stage's single-qubit moves into AOD-compatible
+/// collective moves, orders them for maximum storage dwell time, packs them
+/// onto the available AOD arrays (Sec. 6), and emits the instruction stream.
+#[derive(Debug, Clone, Copy)]
+pub struct MovePass {
+    use_grouping: bool,
+}
+
+impl MovePass {
+    /// Name under which the pass reports its timing.
+    pub const NAME: &'static str = "moves";
+
+    /// Creates the pass; disabling `use_grouping` emits every single-qubit
+    /// move as its own collective move (the grouping-ablation configuration).
+    #[must_use]
+    pub fn new(use_grouping: bool) -> Self {
+        MovePass { use_grouping }
+    }
+
+    /// Runs the pass, emitting the final instruction stream.
+    #[must_use]
+    pub fn run(
+        &self,
+        routed: &RoutedProgram,
+        arch: &Architecture,
+        ctx: &mut CompileContext,
+    ) -> Vec<Instruction> {
+        ctx.time(Self::NAME, |ctx| {
+            let mut instructions = Vec::new();
+            for segment in routed.segments() {
+                match segment {
+                    RoutedSegment::OneQubit(gates) => {
+                        instructions.push(Instruction::one_qubit_layer(gates.clone()));
+                    }
+                    RoutedSegment::Stage(RoutedStage { stage, routing }) => {
+                        // Storage-bound (and separation) moves are grouped and
+                        // emitted strictly before the interaction moves: this
+                        // realizes the move-in-first policy of Sec. 6.1 and
+                        // guarantees that a site vacated towards storage is
+                        // free before an interaction arrives at it.
+                        let mut ordered =
+                            order_coll_moves(self.group(&routing.storage_moves, arch), arch);
+                        ordered.extend(order_coll_moves(
+                            self.group(&routing.interaction_moves, arch),
+                            arch,
+                        ));
+                        ctx.count("coll_moves", ordered.len() as u64);
+                        let packed = pack_move_groups(ordered, arch.num_aods());
+                        ctx.count("move_groups", packed.len() as u64);
+                        instructions.extend(packed);
+                        instructions.push(Instruction::rydberg(stage.gates().to_vec()));
+                    }
+                }
+            }
+            instructions
+        })
+    }
+
+    fn group(
+        &self,
+        moves: &[powermove_schedule::SiteMove],
+        arch: &Architecture,
+    ) -> Vec<Vec<powermove_schedule::SiteMove>> {
+        if self.use_grouping {
+            group_moves(moves, arch)
+        } else {
+            moves.iter().map(|m| vec![*m]).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompilerConfig, PowerMoveCompiler};
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn ring_circuit(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.h(q(i)).unwrap();
+        }
+        for i in 0..n {
+            c.cz(q(i), q((i + 1) % n)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn context_accumulates_timings_by_name() {
+        let mut ctx = CompileContext::new();
+        ctx.time("stage", |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        ctx.time("stage", |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        ctx.time("route", |_| ());
+        assert_eq!(ctx.timings().len(), 2);
+        assert!(ctx.timings()[0].seconds >= 0.002);
+        let metadata = ctx.finish("powermove", true, 3);
+        assert_eq!(metadata.num_stages, 3);
+        assert!(metadata.pass_seconds("stage").unwrap() >= 0.002);
+        assert!(metadata.compile_time.unwrap() >= metadata.total_pass_seconds());
+    }
+
+    #[test]
+    fn context_accumulates_counters_by_name() {
+        let mut ctx = CompileContext::new();
+        ctx.count("stages", 2);
+        ctx.count("stages", 3);
+        ctx.count("coll_moves", 1);
+        let metadata = ctx.finish("x", false, 0);
+        assert_eq!(metadata.counter("stages"), Some(5));
+        assert_eq!(metadata.counter("coll_moves"), Some(1));
+        assert_eq!(metadata.counter("missing"), None);
+    }
+
+    #[test]
+    fn synthesis_pass_counts_blocks() {
+        let mut ctx = CompileContext::new();
+        let blocks = SynthesisPass.run(&ring_circuit(4), &mut ctx);
+        assert_eq!(blocks.num_qubits(), 4);
+        assert!(ctx.counters().iter().any(|c| c.name == "cz_blocks"));
+        assert!(ctx.timings().iter().any(|t| t.pass == SynthesisPass::NAME));
+    }
+
+    #[test]
+    fn stage_pass_partitions_every_gate() {
+        let mut ctx = CompileContext::new();
+        let blocks = SynthesisPass.run(&ring_circuit(6), &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        let staged_gates: usize = staged
+            .segments()
+            .iter()
+            .map(|s| match s {
+                StagedSegment::Stages(stages) => stages.iter().map(Stage::len).sum(),
+                StagedSegment::OneQubit(_) => 0,
+            })
+            .sum();
+        assert_eq!(staged_gates, 6);
+        assert!(staged.num_stages() >= 2, "a 6-ring needs >= 2 stages");
+        assert_eq!(
+            ctx.counters()
+                .iter()
+                .find(|c| c.name == "stages")
+                .unwrap()
+                .value,
+            staged.num_stages() as u64
+        );
+    }
+
+    #[test]
+    fn route_pass_routes_every_stage() {
+        let arch = Architecture::for_qubits(6);
+        let mut ctx = CompileContext::new();
+        let blocks = SynthesisPass.run(&ring_circuit(6), &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        let routed = RoutePass::new(true).run(&staged, &arch, &mut ctx).unwrap();
+        let routed_stage_count = routed
+            .segments()
+            .iter()
+            .filter(|s| matches!(s, RoutedSegment::Stage(_)))
+            .count();
+        assert_eq!(routed_stage_count, staged.num_stages());
+        assert!(routed.uses_storage());
+        for (_, site) in routed.initial_layout().iter() {
+            assert_eq!(arch.grid().zone_of(site), Zone::Storage);
+        }
+    }
+
+    #[test]
+    fn route_pass_reports_capacity_errors() {
+        let mut ctx = CompileContext::new();
+        let blocks = SynthesisPass.run(&ring_circuit(10), &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        let tiny = Architecture::for_qubits(10)
+            .with_grid(powermove_hardware::ZonedGrid::with_dims(2, 2, 4).unwrap());
+        let result = RoutePass::new(true).run(&staged, &tiny, &mut ctx);
+        assert!(matches!(result, Err(CompileError::Hardware(_))));
+    }
+
+    #[test]
+    fn move_pass_emits_rydberg_per_stage() {
+        let arch = Architecture::for_qubits(6);
+        let mut ctx = CompileContext::new();
+        let blocks = SynthesisPass.run(&ring_circuit(6), &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        let routed = RoutePass::new(true).run(&staged, &arch, &mut ctx).unwrap();
+        let instructions = MovePass::new(true).run(&routed, &arch, &mut ctx);
+        let rydberg = instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::RydbergStage { .. }))
+            .count();
+        assert_eq!(rydberg, staged.num_stages());
+    }
+
+    #[test]
+    fn disabling_grouping_yields_singleton_coll_moves() {
+        let arch = Architecture::for_qubits(8);
+        let circuit = ring_circuit(8);
+
+        let grouped = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&circuit, &arch)
+            .unwrap();
+        let ungrouped = PowerMoveCompiler::new(CompilerConfig::default().without_grouping())
+            .compile(&circuit, &arch)
+            .unwrap();
+
+        // Every collective move in the ablation carries exactly one qubit.
+        for cm in ungrouped.coll_moves() {
+            assert_eq!(cm.len(), 1);
+        }
+        // Identical gates either way; at least as many collective moves
+        // without grouping.
+        assert_eq!(grouped.cz_gate_count(), ungrouped.cz_gate_count());
+        assert!(ungrouped.coll_move_count() >= grouped.coll_move_count());
+        assert!(powermove_schedule::validate(&ungrouped).is_ok());
+    }
+
+    #[test]
+    fn backend_trait_compiles_blocks_and_circuits() {
+        let arch = Architecture::for_qubits(4);
+        let compiler = PowerMoveCompiler::new(CompilerConfig::default());
+        let backend: &dyn CompilerBackend = &compiler;
+        assert_eq!(backend.name(), "powermove");
+        assert!(backend.config_description().contains("storage"));
+
+        let mut circuit = Circuit::new(4);
+        circuit.cz(q(0), q(1)).unwrap();
+        circuit.cz(q(2), q(3)).unwrap();
+        let via_circuit = backend.compile_circuit(&circuit, &arch).unwrap();
+        let via_blocks = backend
+            .compile(&BlockProgram::from_circuit(&circuit), &arch)
+            .unwrap();
+        assert_eq!(via_circuit.cz_gate_count(), 2);
+        assert_eq!(via_circuit.cz_gate_count(), via_blocks.cz_gate_count());
+        // The circuit entry point also times synthesis.
+        assert!(via_circuit
+            .metadata()
+            .pass_seconds(SynthesisPass::NAME)
+            .is_some());
+    }
+
+    #[test]
+    fn pipeline_metadata_reports_every_pass() {
+        let arch = Architecture::for_qubits(8);
+        let program = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&ring_circuit(8), &arch)
+            .unwrap();
+        let metadata = program.metadata();
+        for pass in [
+            SynthesisPass::NAME,
+            StagePass::NAME,
+            RoutePass::NAME,
+            MovePass::NAME,
+        ] {
+            assert!(
+                metadata.pass_seconds(pass).is_some(),
+                "missing pass timing {pass}"
+            );
+        }
+        assert!(metadata.counter("stages").unwrap() >= 2);
+        assert!(metadata.counter("coll_moves").unwrap() > 0);
+        assert!(metadata.compile_time.is_some());
+    }
+
+    #[test]
+    fn staged_program_reports_stage_totals() {
+        let mut ctx = CompileContext::new();
+        let mut circuit = Circuit::new(3);
+        circuit.cz(q(0), q(1)).unwrap();
+        circuit.cz(q(1), q(2)).unwrap();
+        let blocks = SynthesisPass.run(&circuit, &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        assert_eq!(staged.num_qubits(), 3);
+        assert_eq!(staged.num_stages(), 2);
+    }
+}

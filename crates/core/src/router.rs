@@ -120,7 +120,11 @@ impl Router {
                     occupants.len() >= 2 && occupants.iter().all(|q| !interacting.contains(q))
                 })
                 .flat_map(|(site, occupants)| {
-                    occupants.iter().skip(1).map(move |&q| (q, site)).collect::<Vec<_>>()
+                    occupants
+                        .iter()
+                        .skip(1)
+                        .map(move |&q| (q, site))
+                        .collect::<Vec<_>>()
                 })
                 .collect();
             for (q, from) in stale {
@@ -195,14 +199,8 @@ impl Router {
         for gate in stage.gates() {
             let a = gate.lo();
             let b = gate.hi();
-            let sa = self
-                .layout
-                .site_of(a)
-                .expect("interacting qubit is placed");
-            let sb = self
-                .layout
-                .site_of(b)
-                .expect("interacting qubit is placed");
+            let sa = self.layout.site_of(a).expect("interacting qubit is placed");
+            let sb = self.layout.site_of(b).expect("interacting qubit is placed");
             if sa == sb {
                 // Already co-located from the previous stage: both static.
                 continue;
@@ -366,7 +364,12 @@ mod tests {
     }
 
     fn stage(edges: &[(u32, u32)]) -> Stage {
-        Stage::new(edges.iter().map(|&(a, b)| CzGate::new(q(a), q(b))).collect())
+        Stage::new(
+            edges
+                .iter()
+                .map(|&(a, b)| CzGate::new(q(a), q(b)))
+                .collect(),
+        )
     }
 
     fn storage_router(n: u32) -> Router {

@@ -113,7 +113,12 @@ mod tests {
     }
 
     fn block(edges: &[(u32, u32)]) -> CzBlock {
-        CzBlock::from_gates(edges.iter().map(|&(a, b)| CzGate::new(q(a), q(b))).collect())
+        CzBlock::from_gates(
+            edges
+                .iter()
+                .map(|&(a, b)| CzGate::new(q(a), q(b)))
+                .collect(),
+        )
     }
 
     #[test]
@@ -140,14 +145,7 @@ mod tests {
 
     #[test]
     fn every_stage_has_disjoint_qubits() {
-        let stages = partition_stages(&block(&[
-            (0, 1),
-            (1, 2),
-            (2, 3),
-            (3, 0),
-            (0, 2),
-            (1, 3),
-        ]));
+        let stages = partition_stages(&block(&[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]));
         for s in &stages {
             let qs = s.interacting_qubits();
             assert_eq!(qs.len(), 2 * s.len());

@@ -28,8 +28,7 @@ pub fn schedule_stages(stages: Vec<Stage>, alpha: f64) -> Vec<Stage> {
         return stages;
     }
 
-    let qubit_sets: Vec<BTreeSet<Qubit>> =
-        stages.iter().map(Stage::interacting_qubits).collect();
+    let qubit_sets: Vec<BTreeSet<Qubit>> = stages.iter().map(Stage::interacting_qubits).collect();
 
     let mut remaining: Vec<usize> = (0..stages.len()).collect();
     // First stage: fewest interacting qubits.
@@ -89,7 +88,12 @@ mod tests {
     }
 
     fn stage(edges: &[(u32, u32)]) -> Stage {
-        Stage::new(edges.iter().map(|&(a, b)| CzGate::new(q(a), q(b))).collect())
+        Stage::new(
+            edges
+                .iter()
+                .map(|&(a, b)| CzGate::new(q(a), q(b)))
+                .collect(),
+        )
     }
 
     #[test]

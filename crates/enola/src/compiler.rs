@@ -1,11 +1,11 @@
 //! The end-to-end Enola-style compilation pipeline.
 
 use crate::{partition_stages_mis, RevertRouter};
+use powermove::{CompileContext, CompileError, CompilerBackend};
 use powermove_circuit::{BlockProgram, Circuit, Segment};
 use powermove_hardware::{AodId, Architecture, HardwareError, Zone};
-use powermove_schedule::{CollMove, CompileMetadata, CompiledProgram, Instruction, Layout};
+use powermove_schedule::{CollMove, CompiledProgram, Instruction, Layout};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Configuration of the Enola baseline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,8 +56,31 @@ impl EnolaCompiler {
         circuit: &Circuit,
         arch: &Architecture,
     ) -> Result<CompiledProgram, HardwareError> {
-        let start = Instant::now();
-        let n = circuit.num_qubits();
+        let mut ctx = CompileContext::new();
+        let block_program = ctx.time("synthesis", |_| BlockProgram::from_circuit(circuit));
+        self.compile_with_context(&block_program, arch, ctx)
+    }
+
+    /// Compiles an already-synthesized block program.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EnolaCompiler::compile`].
+    pub fn compile_block_program(
+        &self,
+        block_program: &BlockProgram,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, HardwareError> {
+        self.compile_with_context(block_program, arch, CompileContext::new())
+    }
+
+    fn compile_with_context(
+        &self,
+        block_program: &BlockProgram,
+        arch: &Architecture,
+        mut ctx: CompileContext,
+    ) -> Result<CompiledProgram, HardwareError> {
+        let n = block_program.num_qubits();
         if arch.grid().num_compute_sites() < n as usize {
             return Err(HardwareError::InsufficientCapacity {
                 qubits: n,
@@ -65,7 +88,6 @@ impl EnolaCompiler {
             });
         }
 
-        let block_program = BlockProgram::from_circuit(circuit);
         let initial_layout = Layout::row_major(arch, n, Zone::Compute).map_err(|_| {
             HardwareError::InsufficientCapacity {
                 qubits: n,
@@ -83,31 +105,62 @@ impl EnolaCompiler {
                     instructions.push(Instruction::one_qubit_layer(layer.gates().to_vec()));
                 }
                 Segment::Cz(block) => {
-                    let stages = partition_stages_mis(block, self.config.mis_node_budget);
+                    let stages = ctx.time("stage", |_| {
+                        partition_stages_mis(block, self.config.mis_node_budget)
+                    });
+                    ctx.count("stages", stages.len() as u64);
                     for stage in stages {
-                        let forward = router.forward_moves(&stage);
-                        let reverse = router.reverse_moves(&forward);
-                        instructions
-                            .extend(pack(router.group_moves(&forward), arch.num_aods()));
-                        instructions.push(Instruction::rydberg(stage));
-                        instructions
-                            .extend(pack(router.group_moves(&reverse), arch.num_aods()));
+                        let (forward, reverse) = ctx.time("route", |_| {
+                            let forward = router.forward_moves(&stage);
+                            let reverse = router.reverse_moves(&forward);
+                            (forward, reverse)
+                        });
+                        ctx.time("moves", |ctx| {
+                            let out = pack(router.group_moves(&forward), arch.num_aods());
+                            let back = pack(router.group_moves(&reverse), arch.num_aods());
+                            ctx.count("move_groups", (out.len() + back.len()) as u64);
+                            instructions.extend(out);
+                            instructions.push(Instruction::rydberg(stage));
+                            instructions.extend(back);
+                        });
                         num_stages += 1;
                     }
                 }
             }
         }
 
-        let metadata = CompileMetadata {
-            compiler: "enola".to_string(),
-            compile_time: Some(start.elapsed().as_secs_f64()),
-            uses_storage: false,
-            num_stages,
-        };
+        let metadata = ctx.finish("enola", false, num_stages);
         Ok(
             CompiledProgram::new(arch.clone(), n, initial_layout, instructions)
                 .with_metadata(metadata),
         )
+    }
+}
+
+impl CompilerBackend for EnolaCompiler {
+    fn name(&self) -> &str {
+        "enola"
+    }
+
+    fn config_description(&self) -> String {
+        format!("mis_node_budget={}", self.config.mis_node_budget)
+    }
+
+    fn compile(
+        &self,
+        blocks: &BlockProgram,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, CompileError> {
+        self.compile_block_program(blocks, arch)
+            .map_err(CompileError::Hardware)
+    }
+
+    fn compile_circuit(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, CompileError> {
+        EnolaCompiler::compile(self, circuit, arch).map_err(CompileError::Hardware)
     }
 }
 

@@ -20,7 +20,10 @@
 //!
 //! The output is the same [`CompiledProgram`](powermove_schedule::CompiledProgram)
 //! representation used by PowerMove, so both compilers are validated, timed
-//! and scored by exactly the same machinery.
+//! and scored by exactly the same machinery. [`EnolaCompiler`] implements
+//! the [`CompilerBackend`](powermove::CompilerBackend) trait, so the
+//! experiment harness drives it through the same backend registry as
+//! PowerMove itself.
 //!
 //! # Example
 //!

@@ -149,7 +149,12 @@ mod tests {
     }
 
     fn block(edges: &[(u32, u32)]) -> CzBlock {
-        CzBlock::from_gates(edges.iter().map(|&(a, b)| CzGate::new(q(a), q(b))).collect())
+        CzBlock::from_gates(
+            edges
+                .iter()
+                .map(|&(a, b)| CzGate::new(q(a), q(b)))
+                .collect(),
+        )
     }
 
     fn path_adjacency(n: usize) -> Vec<Vec<usize>> {

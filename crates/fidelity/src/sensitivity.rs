@@ -144,8 +144,7 @@ mod tests {
     fn doubling_coherence_time_halves_decoherence_loss() {
         let params = PhysicalParams::default();
         let trace = trace_with(0, 0, 0, 0.15);
-        let sweep =
-            sensitivity_sweep(&trace, &params, ParameterAxis::CoherenceTime, &[1.0, 2.0]);
+        let sweep = sensitivity_sweep(&trace, &params, ParameterAxis::CoherenceTime, &[1.0, 2.0]);
         let loss1 = 1.0 - sweep[0].breakdown.decoherence;
         let loss2 = 1.0 - sweep[1].breakdown.decoherence;
         assert!((loss2 - loss1 / 2.0).abs() < 1e-9);
@@ -155,15 +154,9 @@ mod tests {
     fn excitation_and_transfer_axes_target_their_factor() {
         let params = PhysicalParams::default();
         let trace = trace_with(0, 50, 40, 0.0);
-        let exc = sensitivity_sweep(
-            &trace,
-            &params,
-            ParameterAxis::ExcitationInfidelity,
-            &[0.0],
-        );
+        let exc = sensitivity_sweep(&trace, &params, ParameterAxis::ExcitationInfidelity, &[0.0]);
         assert_eq!(exc[0].breakdown.excitation, 1.0);
-        let trans =
-            sensitivity_sweep(&trace, &params, ParameterAxis::TransferInfidelity, &[0.0]);
+        let trans = sensitivity_sweep(&trace, &params, ParameterAxis::TransferInfidelity, &[0.0]);
         assert_eq!(trans[0].breakdown.transfer, 1.0);
     }
 

@@ -117,8 +117,10 @@ impl TrapMove {
     pub fn conflicts_with(&self, other: &TrapMove) -> bool {
         fn reversed(s1: f64, s2: f64, e1: f64, e2: f64) -> bool {
             (matches!(s1.partial_cmp(&s2), Some(Ordering::Less | Ordering::Equal)) && e1 > e2)
-                || (matches!(s1.partial_cmp(&s2), Some(Ordering::Greater | Ordering::Equal))
-                    && e1 < e2)
+                || (matches!(
+                    s1.partial_cmp(&s2),
+                    Some(Ordering::Greater | Ordering::Equal)
+                ) && e1 < e2)
         }
         let x_conflict = reversed(self.from.x, other.from.x, self.to.x, other.to.x);
         let y_conflict = reversed(self.from.y, other.from.y, self.to.y, other.to.y);

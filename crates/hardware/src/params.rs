@@ -142,8 +142,10 @@ mod tests {
 
     #[test]
     fn invalid_fidelity_detected() {
-        let mut p = PhysicalParams::default();
-        p.cz_fidelity = 1.2;
+        let mut p = PhysicalParams {
+            cz_fidelity: 1.2,
+            ..PhysicalParams::default()
+        };
         assert!(!p.is_valid());
         p.cz_fidelity = 0.0;
         assert!(!p.is_valid());
@@ -151,8 +153,10 @@ mod tests {
 
     #[test]
     fn invalid_duration_detected() {
-        let mut p = PhysicalParams::default();
-        p.transfer_duration = -1.0;
+        let mut p = PhysicalParams {
+            transfer_duration: -1.0,
+            ..PhysicalParams::default()
+        };
         assert!(!p.is_valid());
         p.transfer_duration = f64::NAN;
         assert!(!p.is_valid());

@@ -88,7 +88,11 @@ impl ZonedGrid {
     ///
     /// Returns [`HardwareError::InvalidDimensions`] if `cols` or
     /// `compute_rows` is zero.
-    pub fn with_dims(cols: u32, compute_rows: u32, storage_rows: u32) -> Result<Self, HardwareError> {
+    pub fn with_dims(
+        cols: u32,
+        compute_rows: u32,
+        storage_rows: u32,
+    ) -> Result<Self, HardwareError> {
         if cols == 0 || compute_rows == 0 {
             return Err(HardwareError::InvalidDimensions {
                 cols,

@@ -82,7 +82,10 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit program")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit program"
+                )
             }
             ScheduleError::SiteOutOfRange { site } => write!(f, "site {site} outside the grid"),
             ScheduleError::UnplacedQubit { qubit } => write!(f, "qubit {qubit} has no site"),
@@ -112,10 +115,16 @@ impl fmt::Display for ScheduleError {
                 write!(f, "two gates of one Rydberg stage share qubit {qubit}")
             }
             ScheduleError::Clustering { site } => {
-                write!(f, "non-interacting qubits clustered at site {site} during excitation")
+                write!(
+                    f,
+                    "non-interacting qubits clustered at site {site} during excitation"
+                )
             }
             ScheduleError::GateInStorage { qubit } => {
-                write!(f, "cz gate scheduled on {qubit} while it is in the storage zone")
+                write!(
+                    f,
+                    "cz gate scheduled on {qubit} while it is in the storage zone"
+                )
             }
         }
     }

@@ -99,10 +99,7 @@ impl CollMove {
     /// Duration of the translation (excluding transfers), in seconds.
     #[must_use]
     pub fn move_duration(&self, arch: &Architecture) -> f64 {
-        powermove_hardware::move_duration(
-            self.max_distance(arch),
-            arch.params().max_acceleration,
-        )
+        powermove_hardware::move_duration(self.max_distance(arch), arch.params().max_acceleration)
     }
 
     /// The physical trap moves of this collective move.
@@ -175,9 +172,7 @@ impl Instruction {
                 .iter()
                 .flat_map(|cm| cm.moves.iter().map(|m| m.qubit))
                 .collect(),
-            Instruction::RydbergStage { gates } => {
-                gates.iter().flat_map(|g| g.qubits()).collect()
-            }
+            Instruction::RydbergStage { gates } => gates.iter().flat_map(|g| g.qubits()).collect(),
         }
     }
 
@@ -204,7 +199,11 @@ impl fmt::Display for Instruction {
             Instruction::OneQubitLayer { gates } => write!(f, "1q-layer({} gates)", gates.len()),
             Instruction::MoveGroup { coll_moves } => {
                 let moved: usize = coll_moves.iter().map(CollMove::len).sum();
-                write!(f, "move-group({} coll-moves, {moved} qubits)", coll_moves.len())
+                write!(
+                    f,
+                    "move-group({} coll-moves, {moved} qubits)",
+                    coll_moves.len()
+                )
             }
             Instruction::RydbergStage { gates } => write!(f, "rydberg({} cz)", gates.len()),
         }

@@ -5,6 +5,24 @@ use powermove_hardware::Architecture;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Wall-clock time attributed to one named pipeline pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PassTiming {
+    /// Pass name, e.g. `"stage"` or `"route"`.
+    pub pass: String,
+    /// Accumulated wall-clock seconds spent in the pass.
+    pub seconds: f64,
+}
+
+/// A named work counter accumulated during compilation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PassCounter {
+    /// Counter name, e.g. `"coll_moves"`.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
 /// Metadata describing how a program was produced.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct CompileMetadata {
@@ -16,6 +34,36 @@ pub struct CompileMetadata {
     pub uses_storage: bool,
     /// Number of Rydberg stages scheduled.
     pub num_stages: usize,
+    /// Per-pass wall-clock timings, in pipeline order.
+    pub pass_timings: Vec<PassTiming>,
+    /// Work counters accumulated by the passes.
+    pub counters: Vec<PassCounter>,
+}
+
+impl CompileMetadata {
+    /// Seconds attributed to the named pass, if it was recorded.
+    #[must_use]
+    pub fn pass_seconds(&self, pass: &str) -> Option<f64> {
+        self.pass_timings
+            .iter()
+            .find(|t| t.pass == pass)
+            .map(|t| t.seconds)
+    }
+
+    /// The value of the named work counter, if it was recorded.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Total wall-clock seconds attributed to passes.
+    #[must_use]
+    pub fn total_pass_seconds(&self) -> f64 {
+        self.pass_timings.iter().map(|t| t.seconds).sum()
+    }
 }
 
 /// A fully lowered neutral-atom program: an initial qubit layout plus a
@@ -160,7 +208,10 @@ impl CompiledProgram {
     /// Total number of SLM <-> AOD transfers.
     #[must_use]
     pub fn transfer_count(&self) -> usize {
-        self.instructions.iter().map(Instruction::transfer_count).sum()
+        self.instructions
+            .iter()
+            .map(Instruction::transfer_count)
+            .sum()
     }
 
     /// Iterates over every collective move of the program.
@@ -238,10 +289,28 @@ mod tests {
             compile_time: Some(0.5),
             uses_storage: true,
             num_stages: 1,
+            pass_timings: vec![
+                PassTiming {
+                    pass: "stage".to_string(),
+                    seconds: 0.1,
+                },
+                PassTiming {
+                    pass: "route".to_string(),
+                    seconds: 0.3,
+                },
+            ],
+            counters: vec![PassCounter {
+                name: "coll_moves".to_string(),
+                value: 4,
+            }],
         });
         assert_eq!(p.metadata().compiler, "powermove");
         assert_eq!(p.metadata().compile_time, Some(0.5));
         assert!(p.metadata().uses_storage);
+        assert_eq!(p.metadata().pass_seconds("route"), Some(0.3));
+        assert_eq!(p.metadata().pass_seconds("moves"), None);
+        assert_eq!(p.metadata().counter("coll_moves"), Some(4));
+        assert!((p.metadata().total_pass_seconds() - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Program replay: validation plus accumulation of the execution trace.
 
-use crate::{
-    instruction_duration, CompiledProgram, Instruction, Layout, ScheduleError,
-};
+use crate::{instruction_duration, CompiledProgram, Instruction, Layout, ScheduleError};
 use powermove_circuit::Qubit;
 use powermove_hardware::{validate_collective_move, Zone};
 use serde::{Deserialize, Serialize};
@@ -238,9 +236,7 @@ pub fn simulate(program: &CompiledProgram) -> Result<ExecutionTrace, ScheduleErr
                 // computation zone during this excitation.
                 let exposed = layout
                     .iter()
-                    .filter(|(q, site)| {
-                        grid.zone_of(*site) == Zone::Compute && !seen.contains(q)
-                    })
+                    .filter(|(q, site)| grid.zone_of(*site) == Zone::Compute && !seen.contains(q))
                     .count();
                 trace.excitation_exposure += exposed;
                 trace.cz_gate_count += gates.len();
@@ -396,7 +392,10 @@ mod tests {
             layout,
             vec![Instruction::rydberg(vec![CzGate::new(q(0), q(1))])],
         );
-        assert!(matches!(simulate(&p), Err(ScheduleError::Clustering { .. })));
+        assert!(matches!(
+            simulate(&p),
+            Err(ScheduleError::Clustering { .. })
+        ));
     }
 
     #[test]
@@ -423,8 +422,16 @@ mod tests {
         let arch = arch4();
         let layout = compute_layout(&arch, 4);
         // q0 at (0,0) moves right past q1 at (1,0) which moves left: crossing.
-        let a = SiteMove::new(q(0), site(&arch, Zone::Compute, 0, 0), site(&arch, Zone::Compute, 1, 1));
-        let b = SiteMove::new(q(1), site(&arch, Zone::Compute, 1, 0), site(&arch, Zone::Compute, 0, 1));
+        let a = SiteMove::new(
+            q(0),
+            site(&arch, Zone::Compute, 0, 0),
+            site(&arch, Zone::Compute, 1, 1),
+        );
+        let b = SiteMove::new(
+            q(1),
+            site(&arch, Zone::Compute, 1, 0),
+            site(&arch, Zone::Compute, 0, 1),
+        );
         let p = CompiledProgram::new(
             arch,
             4,
@@ -441,8 +448,16 @@ mod tests {
     fn too_many_parallel_moves_rejected() {
         let arch = arch4(); // 1 AOD
         let layout = compute_layout(&arch, 4);
-        let a = SiteMove::new(q(0), site(&arch, Zone::Compute, 0, 0), site(&arch, Zone::Compute, 0, 1));
-        let b = SiteMove::new(q(1), site(&arch, Zone::Compute, 1, 0), site(&arch, Zone::Compute, 1, 1));
+        let a = SiteMove::new(
+            q(0),
+            site(&arch, Zone::Compute, 0, 0),
+            site(&arch, Zone::Compute, 0, 1),
+        );
+        let b = SiteMove::new(
+            q(1),
+            site(&arch, Zone::Compute, 1, 0),
+            site(&arch, Zone::Compute, 1, 1),
+        );
         let p = CompiledProgram::new(
             arch,
             4,

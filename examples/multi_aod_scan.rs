@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         n,
         instance.circuit.cz_count()
     );
-    println!("{:>6} {:>14} {:>12} {:>14}", "#AODs", "T_exe (us)", "fidelity", "move groups");
+    println!(
+        "{:>6} {:>14} {:>12} {:>14}",
+        "#AODs", "T_exe (us)", "fidelity", "move groups"
+    );
 
     let compiler = PowerMoveCompiler::new(CompilerConfig::default());
     for aods in 1..=4_usize {

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..n {
         circuit.zz(Qubit::new(i), Qubit::new((i + 1) % n), 0.8)?;
     }
-    println!("input circuit: {} gates ({} CZ)", circuit.num_gates(), circuit.cz_count());
+    println!(
+        "input circuit: {} gates ({} CZ)",
+        circuit.num_gates(),
+        circuit.cz_count()
+    );
 
     // The paper's default machine for this qubit count: ceil(sqrt(6)) = 3
     // columns, a 3x3 computation zone and a 3x6 storage zone.
@@ -45,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Estimate execution time and output fidelity (Eq. 1 of the paper).
     let report = evaluate_program(&program)?;
-    println!("estimated execution time: {:.1} us", report.execution_time_us());
+    println!(
+        "estimated execution time: {:.1} us",
+        report.execution_time_us()
+    );
     println!("estimated output fidelity: {:.4}", report.fidelity());
     println!("breakdown: {}", report.breakdown);
     Ok(())

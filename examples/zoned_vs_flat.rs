@@ -38,11 +38,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  qubits exposed to Rydberg excitations (sum over stages): {}",
             report.trace.excitation_exposure
         );
-        println!("  excitation fidelity factor: {:.4}", report.breakdown.excitation);
-        println!("  decoherence fidelity factor: {:.4}", report.breakdown.decoherence);
-        println!("  transfer fidelity factor:   {:.4}", report.breakdown.transfer);
-        println!("  total fidelity:             {:.4}", report.fidelity_excluding_one_qubit());
-        println!("  execution time:             {:.1} us", report.execution_time_us());
+        println!(
+            "  excitation fidelity factor: {:.4}",
+            report.breakdown.excitation
+        );
+        println!(
+            "  decoherence fidelity factor: {:.4}",
+            report.breakdown.decoherence
+        );
+        println!(
+            "  transfer fidelity factor:   {:.4}",
+            report.breakdown.transfer
+        );
+        println!(
+            "  total fidelity:             {:.4}",
+            report.fidelity_excluding_one_qubit()
+        );
+        println!(
+            "  execution time:             {:.1} us",
+            report.execution_time_us()
+        );
     }
     Ok(())
 }

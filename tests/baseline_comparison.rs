@@ -69,8 +69,7 @@ fn storage_zone_improves_fidelity_at_scale() {
     ] {
         let [enola, _, with_storage] = compile_all(family, n);
         assert!(
-            with_storage.2.fidelity_excluding_one_qubit()
-                >= enola.2.fidelity_excluding_one_qubit(),
+            with_storage.2.fidelity_excluding_one_qubit() >= enola.2.fidelity_excluding_one_qubit(),
             "{family}-{n}: with-storage {:.3e} vs enola {:.3e}",
             with_storage.2.fidelity_excluding_one_qubit(),
             enola.2.fidelity_excluding_one_qubit()

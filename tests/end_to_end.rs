@@ -34,7 +34,10 @@ fn every_family_compiles_validates_and_scores_with_powermove() {
             validate(&program)
                 .unwrap_or_else(|e| panic!("{family} ({n} qubits) produced invalid program: {e}"));
             let report = evaluate_program(&program).expect("program scores");
-            assert!(report.fidelity() > 0.0, "{family} fidelity collapsed to zero");
+            assert!(
+                report.fidelity() > 0.0,
+                "{family} fidelity collapsed to zero"
+            );
             assert_eq!(
                 program.cz_gate_count(),
                 instance.circuit.cz_count(),

@@ -1,7 +1,12 @@
-//! Property-based tests of the core compiler invariants, driven by random
+//! Randomized tests of the core compiler invariants, driven by seeded random
 //! circuits and random movement sets.
+//!
+//! These were originally property-based tests; with no crates.io access the
+//! workspace vendors a deterministic PRNG instead, and each invariant is
+//! exercised over a fixed number of seeded random cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use powermove_suite::circuit::{BlockProgram, Circuit, CzBlock, CzGate, Qubit};
 use powermove_suite::enola::EnolaCompiler;
@@ -12,128 +17,151 @@ use powermove_suite::powermove::{
 };
 use powermove_suite::schedule::{validate, SiteMove};
 
-/// Strategy: a random circuit over `n` qubits mixing H, Rz and CZ gates.
-fn random_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    (2..=max_qubits, proptest::collection::vec((0u8..3, 0u32..1000, 0u32..1000), 1..max_gates))
-        .prop_map(|(n, ops)| {
-            let mut circuit = Circuit::new(n);
-            for (kind, a, b) in ops {
-                let qa = Qubit::new(a % n);
-                let qb = Qubit::new(b % n);
-                match kind {
-                    0 => circuit.h(qa).expect("in range"),
-                    1 => circuit.rz(qa, 0.17).expect("in range"),
-                    _ => {
-                        if qa != qb {
-                            circuit.cz(qa, qb).expect("in range");
-                        }
-                    }
+const CASES: u64 = 32;
+
+/// A random circuit over up to `max_qubits` qubits mixing H, Rz and CZ gates.
+fn random_circuit(rng: &mut StdRng, max_qubits: u32, max_gates: usize) -> Circuit {
+    let n = rng.gen_range(2..=max_qubits);
+    let num_gates = rng.gen_range(1..max_gates);
+    let mut circuit = Circuit::new(n);
+    for _ in 0..num_gates {
+        let kind = rng.gen_range(0_u8..3);
+        let qa = Qubit::new(rng.gen_range(0..n));
+        let qb = Qubit::new(rng.gen_range(0..n));
+        match kind {
+            0 => circuit.h(qa).expect("in range"),
+            1 => circuit.rz(qa, 0.17).expect("in range"),
+            _ => {
+                if qa != qb {
+                    circuit.cz(qa, qb).expect("in range");
                 }
             }
-            circuit
-        })
-}
-
-/// Strategy: a random commuting CZ block over `n` qubits.
-fn random_block(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = CzBlock> {
-    (4..=max_qubits, proptest::collection::vec((0u32..1000, 0u32..1000), 1..max_gates)).prop_map(
-        |(n, pairs)| {
-            pairs
-                .into_iter()
-                .filter_map(|(a, b)| {
-                    let qa = Qubit::new(a % n);
-                    let qb = Qubit::new(b % n);
-                    (qa != qb).then(|| CzGate::new(qa, qb))
-                })
-                .collect()
-        },
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Block synthesis never loses or invents gates.
-    #[test]
-    fn block_synthesis_preserves_gate_counts(circuit in random_circuit(12, 60)) {
-        let program = BlockProgram::from_circuit(&circuit);
-        prop_assert_eq!(program.total_cz_gates(), circuit.cz_count());
-        prop_assert_eq!(program.total_one_qubit_gates(), circuit.one_qubit_count());
+        }
     }
+    circuit
+}
 
-    /// Stage partition covers every gate exactly once and every stage acts on
-    /// disjoint qubits.
-    #[test]
-    fn stage_partition_is_a_valid_colouring(block in random_block(16, 60)) {
+/// A random commuting CZ block over up to `max_qubits` qubits.
+fn random_block(rng: &mut StdRng, max_qubits: u32, max_gates: usize) -> CzBlock {
+    let n = rng.gen_range(4..=max_qubits);
+    let num_gates = rng.gen_range(1..max_gates);
+    (0..num_gates)
+        .filter_map(|_| {
+            let qa = Qubit::new(rng.gen_range(0..n));
+            let qb = Qubit::new(rng.gen_range(0..n));
+            (qa != qb).then(|| CzGate::new(qa, qb))
+        })
+        .collect()
+}
+
+/// Block synthesis never loses or invents gates.
+#[test]
+fn block_synthesis_preserves_gate_counts() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = random_circuit(&mut rng, 12, 60);
+        let program = BlockProgram::from_circuit(&circuit);
+        assert_eq!(program.total_cz_gates(), circuit.cz_count(), "seed {seed}");
+        assert_eq!(
+            program.total_one_qubit_gates(),
+            circuit.one_qubit_count(),
+            "seed {seed}"
+        );
+    }
+}
+
+/// Stage partition covers every gate exactly once and every stage acts on
+/// disjoint qubits; scheduling permutes but never drops stages.
+#[test]
+fn stage_partition_is_a_valid_colouring() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let block = random_block(&mut rng, 16, 60);
         let stages = partition_stages(&block);
         let total: usize = stages.iter().map(|s| s.len()).sum();
-        prop_assert_eq!(total, block.len());
+        assert_eq!(total, block.len(), "seed {seed}");
         for stage in &stages {
             let qubits = stage.interacting_qubits();
-            prop_assert_eq!(qubits.len(), 2 * stage.len());
+            assert_eq!(qubits.len(), 2 * stage.len(), "seed {seed}");
         }
-        // Scheduling permutes but never drops stages.
         let scheduled = schedule_stages(stages.clone(), 0.5);
-        prop_assert_eq!(scheduled.len(), stages.len());
+        assert_eq!(scheduled.len(), stages.len(), "seed {seed}");
         let rescheduled_total: usize = scheduled.iter().map(|s| s.len()).sum();
-        prop_assert_eq!(rescheduled_total, block.len());
+        assert_eq!(rescheduled_total, block.len(), "seed {seed}");
     }
+}
 
-    /// Grouped collective moves preserve every move and never violate the
-    /// AOD order constraint.
-    #[test]
-    fn grouping_preserves_moves_and_compatibility(
-        pairs in proptest::collection::vec((0u32..25, 0u32..25), 1..20)
-    ) {
-        let arch = Architecture::for_qubits(25);
-        let grid = arch.grid();
-        let sites: Vec<_> = grid.sites_in(Zone::Compute).collect();
-        let moves: Vec<SiteMove> = pairs
-            .iter()
-            .enumerate()
-            .map(|(i, &(from, to))| SiteMove::new(
-                Qubit::new(i as u32),
-                sites[from as usize % sites.len()],
-                sites[to as usize % sites.len()],
-            ))
+/// Grouped collective moves preserve every move and never violate the AOD
+/// order constraint.
+#[test]
+fn grouping_preserves_moves_and_compatibility() {
+    let arch = Architecture::for_qubits(25);
+    let grid = arch.grid();
+    let sites: Vec<_> = grid.sites_in(Zone::Compute).collect();
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_moves = rng.gen_range(1..20);
+        let moves: Vec<SiteMove> = (0..num_moves)
+            .map(|i| {
+                SiteMove::new(
+                    Qubit::new(i as u32),
+                    sites[rng.gen_range(0..sites.len())],
+                    sites[rng.gen_range(0..sites.len())],
+                )
+            })
             .collect();
         let groups = group_moves(&moves, &arch);
         let total: usize = groups.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, moves.len());
+        assert_eq!(total, moves.len(), "seed {seed}");
         for group in &groups {
             let trap_moves: Vec<_> = group.iter().map(|m| m.to_trap_move(&arch)).collect();
-            prop_assert!(validate_collective_move(&trap_moves).is_ok());
+            assert!(
+                validate_collective_move(&trap_moves).is_ok(),
+                "seed {seed}: incompatible group"
+            );
         }
     }
+}
 
-    /// Every random circuit compiles to a hardware-valid program under both
-    /// PowerMove configurations, preserving gate counts, and the with-storage
-    /// configuration never exposes an idle qubit to a Rydberg excitation.
-    #[test]
-    fn compiled_programs_are_always_valid(circuit in random_circuit(10, 40)) {
+/// Every random circuit compiles to a hardware-valid program under both
+/// PowerMove configurations, preserving gate counts, and the with-storage
+/// configuration never exposes an idle qubit to a Rydberg excitation.
+#[test]
+fn compiled_programs_are_always_valid() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = random_circuit(&mut rng, 10, 40);
         let arch = Architecture::for_qubits(circuit.num_qubits());
         for config in [CompilerConfig::default(), CompilerConfig::without_storage()] {
             let program = PowerMoveCompiler::new(config)
                 .compile(&circuit, &arch)
                 .expect("compilation succeeds");
-            prop_assert!(validate(&program).is_ok());
-            prop_assert_eq!(program.cz_gate_count(), circuit.cz_count());
+            assert!(validate(&program).is_ok(), "seed {seed}");
+            assert_eq!(program.cz_gate_count(), circuit.cz_count(), "seed {seed}");
             let report = evaluate_program(&program).expect("program scores");
             if config.use_storage {
-                prop_assert_eq!(report.trace.excitation_exposure, 0);
+                assert_eq!(report.trace.excitation_exposure, 0, "seed {seed}");
             }
-            prop_assert!(report.fidelity() >= 0.0 && report.fidelity() <= 1.0);
+            assert!(
+                (0.0..=1.0).contains(&report.fidelity()),
+                "seed {seed}: fidelity {}",
+                report.fidelity()
+            );
         }
     }
+}
 
-    /// The Enola baseline also always produces hardware-valid programs.
-    #[test]
-    fn enola_programs_are_always_valid(circuit in random_circuit(10, 30)) {
+/// The Enola baseline also always produces hardware-valid programs.
+#[test]
+fn enola_programs_are_always_valid() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let circuit = random_circuit(&mut rng, 10, 30);
         let arch = Architecture::for_qubits(circuit.num_qubits());
         let program = EnolaCompiler::default()
             .compile(&circuit, &arch)
             .expect("compilation succeeds");
-        prop_assert!(validate(&program).is_ok());
-        prop_assert_eq!(program.cz_gate_count(), circuit.cz_count());
+        assert!(validate(&program).is_ok(), "seed {seed}");
+        assert_eq!(program.cz_gate_count(), circuit.cz_count(), "seed {seed}");
     }
 }

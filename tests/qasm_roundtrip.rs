@@ -16,7 +16,10 @@ fn benchmark_circuits_round_trip_through_qasm() {
         let instance = generate(family, n, 31);
         let text = qasm::to_qasm(&instance.circuit);
         let parsed = qasm::from_qasm(&text).unwrap_or_else(|e| panic!("{family}: {e}"));
-        assert_eq!(parsed, instance.circuit, "{family} round trip changed the circuit");
+        assert_eq!(
+            parsed, instance.circuit,
+            "{family} round trip changed the circuit"
+        );
     }
 }
 
@@ -26,9 +29,17 @@ fn reimported_circuit_compiles_to_equivalent_schedule() {
     let parsed = qasm::from_qasm(&qasm::to_qasm(&instance.circuit)).expect("parses");
     let arch = Architecture::for_qubits(16);
     let compiler = PowerMoveCompiler::new(CompilerConfig::default());
-    let original = compiler.compile(&instance.circuit, &arch).expect("compiles");
+    let original = compiler
+        .compile(&instance.circuit, &arch)
+        .expect("compiles");
     let reimported = compiler.compile(&parsed, &arch).expect("compiles");
     assert_eq!(original.cz_gate_count(), reimported.cz_gate_count());
-    assert_eq!(original.one_qubit_gate_count(), reimported.one_qubit_gate_count());
-    assert_eq!(original.rydberg_stage_count(), reimported.rydberg_stage_count());
+    assert_eq!(
+        original.one_qubit_gate_count(),
+        reimported.one_qubit_gate_count()
+    );
+    assert_eq!(
+        original.rydberg_stage_count(),
+        reimported.rydberg_stage_count()
+    );
 }
