@@ -1,0 +1,194 @@
+//! The benchmark-regression gate: runs the full backend × suite matrix in
+//! parallel and compares fidelity, execution-time, compile-time and
+//! schedule-shape metrics against the checked-in `bench/baseline.json`,
+//! exiting non-zero on any regression or coverage drift. CI runs this on
+//! every push.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p powermove-bench --bin bench-gate -- \
+//!     [--baseline <path>] [--json <path>] [--update] [--filter <substr>] \
+//!     [--fidelity-tol <rel>] [--exec-tol <rel>] \
+//!     [--compile-tol <rel>] [--compile-floor <seconds>]
+//! ```
+//!
+//! * `--baseline` — baseline file (default `bench/baseline.json`);
+//! * `--json` — additionally record the raw `RunResult`s of this run;
+//! * `--update` — rewrite the baseline from this run instead of gating
+//!   (use after intentional performance/fidelity changes, and commit the
+//!   refreshed file);
+//! * `--filter` — restrict the suite to benchmarks whose name contains the
+//!   substring (missing-entry checks are restricted to the same subset);
+//! * tolerance flags — override the [`GateTolerance`] defaults.
+//!
+//! Exit codes: `0` pass (improvements allowed), `1` regression or missing
+//! entry, `2` usage/baseline errors.
+
+use powermove_bench::gate::{compare, Baseline, GateTolerance, Verdict};
+use powermove_bench::{
+    run_matrix, take_json_path, write_json, BackendRegistry, BaselineEntry, DEFAULT_SEED,
+};
+use powermove_benchmarks::table2_suite;
+use std::path::PathBuf;
+
+/// Extracts `--flag <value>` from the argument list, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let index = args.iter().position(|a| a == flag)?;
+    if index + 1 >= args.len() {
+        eprintln!("{flag} requires an argument");
+        std::process::exit(2);
+    }
+    let value = args.remove(index + 1);
+    args.remove(index);
+    Some(value)
+}
+
+/// Extracts a bare `--flag`, returning whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(index) = args.iter().position(|a| a == flag) {
+        args.remove(index);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_f64_flag(args: &mut Vec<String>, flag: &str) -> Option<f64> {
+    take_flag(args, flag).map(|value| {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} expects a number, got {value:?}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = take_json_path(&mut args);
+    let baseline_path = take_flag(&mut args, "--baseline")
+        .map_or_else(|| PathBuf::from("bench/baseline.json"), PathBuf::from);
+    let update = take_switch(&mut args, "--update");
+    let filter = take_flag(&mut args, "--filter").unwrap_or_default();
+
+    let mut tolerance = GateTolerance::default();
+    if let Some(v) = parse_f64_flag(&mut args, "--fidelity-tol") {
+        tolerance.fidelity = v;
+    }
+    if let Some(v) = parse_f64_flag(&mut args, "--exec-tol") {
+        tolerance.exec_time = v;
+    }
+    if let Some(v) = parse_f64_flag(&mut args, "--compile-tol") {
+        tolerance.compile_time = v;
+    }
+    if let Some(v) = parse_f64_flag(&mut args, "--compile-floor") {
+        tolerance.compile_time_floor_s = v;
+    }
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    // The full Table 2 suite under every registered backend, fanned out over
+    // the POWERMOVE_THREADS pool.
+    let suite: Vec<_> = table2_suite(DEFAULT_SEED)
+        .into_iter()
+        .filter(|i| filter.is_empty() || i.name.contains(&filter))
+        .collect();
+    if suite.is_empty() {
+        // A vacuous gate (0 checks) must not report PASS: a typo'd filter
+        // would otherwise silently disable the gate.
+        eprintln!("bench-gate: --filter {filter:?} matches no benchmark instance");
+        std::process::exit(2);
+    }
+    let registry = BackendRegistry::standard();
+    println!(
+        "bench-gate: {} instances x {} backends",
+        suite.len(),
+        registry.len()
+    );
+    let started = std::time::Instant::now();
+    let results = run_matrix(&suite, 1, &registry);
+    println!(
+        "bench-gate: matrix finished in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(path) = json_path {
+        write_json(&path, &results);
+    }
+    let current: Vec<BaselineEntry> = results.iter().map(BaselineEntry::from).collect();
+
+    if update {
+        let baseline = Baseline::from_results(&results);
+        write_json(&baseline_path, &baseline);
+        println!(
+            "bench-gate: baseline refreshed with {} entries — review and commit it",
+            baseline.entries.len()
+        );
+        return;
+    }
+
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(baseline) => baseline,
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            eprintln!("bench-gate: run with --update to record a fresh baseline");
+            std::process::exit(2);
+        }
+    };
+    // When gating a filtered subset, only hold that subset accountable for
+    // baseline coverage.
+    let scoped = if filter.is_empty() {
+        baseline
+    } else {
+        Baseline {
+            entries: baseline
+                .entries
+                .into_iter()
+                .filter(|e| e.benchmark.contains(&filter))
+                .collect(),
+        }
+    };
+
+    let report = compare(&scoped, &current, &tolerance);
+    for check in &report.checks {
+        match check.verdict {
+            Verdict::Pass => {}
+            Verdict::Improved => println!(
+                "IMPROVED   {:<22} {:<18} {:<18} {:.6e} -> {:.6e}",
+                check.compiler, check.benchmark, check.metric, check.baseline, check.current
+            ),
+            Verdict::Regressed => println!(
+                "REGRESSED  {:<22} {:<18} {:<18} {:.6e} -> {:.6e}",
+                check.compiler, check.benchmark, check.metric, check.baseline, check.current
+            ),
+        }
+    }
+    for (compiler, benchmark) in &report.missing_in_current {
+        println!("MISSING    {compiler:<22} {benchmark:<18} (in baseline, not in this run)");
+    }
+    for (compiler, benchmark) in &report.missing_in_baseline {
+        println!("UNGATED    {compiler:<22} {benchmark:<18} (in this run, not in baseline)");
+    }
+
+    let regressions = report.regressions().count();
+    let improvements = report.improvements().count();
+    println!(
+        "bench-gate: {} checks, {} regressed, {} improved, {} missing, {} ungated",
+        report.checks.len(),
+        regressions,
+        improvements,
+        report.missing_in_current.len(),
+        report.missing_in_baseline.len()
+    );
+    if report.passed() {
+        if improvements > 0 {
+            println!("bench-gate: PASS (improvements found — consider `bench-gate --update`)");
+        } else {
+            println!("bench-gate: PASS");
+        }
+    } else {
+        println!("bench-gate: FAIL");
+        std::process::exit(1);
+    }
+}

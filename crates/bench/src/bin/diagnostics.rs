@@ -13,9 +13,11 @@
 //! `QAOA-regular3`), `qubits` defaults to 50.
 
 use powermove_bench::{
-    score_program, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
+    score_program, take_json_path, write_json, BackendRegistry, RegisteredBackend, RunResult,
+    DEFAULT_SEED,
 };
 use powermove_benchmarks::{generate, BenchmarkFamily};
+use powermove_exec::ThreadPool;
 use powermove_fidelity::evaluate_program;
 use powermove_hardware::Architecture;
 use powermove_schedule::CompiledProgram;
@@ -82,18 +84,28 @@ fn main() {
     let arch = Architecture::for_qubits(instance.num_qubits);
     println!("benchmark: {}", instance.name);
 
+    // Compile under every backend concurrently, then print and score in
+    // registration order.
     let registry = BackendRegistry::standard();
-    let mut results: Vec<RunResult> = Vec::new();
-    for entry in registry.iter() {
+    let entries: Vec<&RegisteredBackend> = registry.iter().collect();
+    let programs = ThreadPool::from_env().par_map(entries, |entry| {
         let start = std::time::Instant::now();
         let program = entry
             .backend()
             .compile_circuit(&instance.circuit, &arch)
             .unwrap_or_else(|e| panic!("{} compiles: {e}", entry.id()));
-        let measured_s = start.elapsed().as_secs_f64();
-        describe(entry.id(), &program);
+        (
+            entry.id().to_string(),
+            program,
+            start.elapsed().as_secs_f64(),
+        )
+    });
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for (id, program, measured_s) in &programs {
+        describe(id, program);
         if json_path.is_some() {
-            results.push(score_program(entry.id(), &instance, &program, measured_s));
+            results.push(score_program(id, &instance, program, *measured_s));
         }
     }
     if let Some(path) = json_path {

@@ -9,9 +9,9 @@
 //! ```
 
 use powermove_bench::{
-    run_all, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
+    run_matrix, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
 };
-use powermove_benchmarks::{generate, BenchmarkFamily};
+use powermove_benchmarks::{generate, BenchmarkFamily, BenchmarkInstance};
 
 /// The qubit sweeps of Fig. 6(a)-(e).
 fn sweeps() -> Vec<(BenchmarkFamily, Vec<u32>)> {
@@ -42,19 +42,28 @@ fn main() {
     let json_path = take_json_path(&mut args);
     let filter = args.first().cloned().unwrap_or_default();
     let registry = BackendRegistry::standard();
-    let mut results: Vec<RunResult> = Vec::new();
+
+    // Generate every instance of the selected sweeps up front, run the whole
+    // instance × backend matrix on the POWERMOVE_THREADS pool, then print in
+    // sweep order (run_matrix returns instance-major, deterministic order).
+    let mut groups: Vec<(String, usize)> = Vec::new(); // (family name, #instances)
+    let mut instances: Vec<BenchmarkInstance> = Vec::new();
     for (family, sizes) in sweeps() {
         let name = family.to_string();
         if !filter.is_empty() && !name.contains(&filter) {
             continue;
         }
+        groups.push((name, sizes.len()));
+        instances.extend(sizes.into_iter().map(|n| generate(family, n, DEFAULT_SEED)));
+    }
+    let results: Vec<RunResult> = run_matrix(&instances, 1, &registry);
+
+    let per_instance = registry.len();
+    let mut cursor = results.iter();
+    for (name, count) in groups {
         println!("== Fig. 6: {name} ==");
-        for n in sizes {
-            let instance = generate(family, n, DEFAULT_SEED);
-            for result in run_all(&instance, 1, &registry) {
-                print_row(&result);
-                results.push(result);
-            }
+        for _ in 0..count * per_instance {
+            print_row(cursor.next().expect("one result per matrix cell"));
         }
         println!();
     }

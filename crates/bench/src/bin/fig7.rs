@@ -13,6 +13,7 @@ use powermove_bench::{
     POWERMOVE_STORAGE,
 };
 use powermove_benchmarks::{generate, BenchmarkFamily};
+use powermove_exec::ThreadPool;
 use serde::Serialize;
 
 /// One serializable point of Fig. 7: an AOD count paired with its result.
@@ -40,18 +41,32 @@ fn main() {
         "{:<20} {:>6} {:>14} {:>12} {:>12}",
         "Benchmark", "#AODs", "Texe (us)", "Fidelity", "Stages"
     );
-    let mut results: Vec<Fig7Point> = Vec::new();
-    for (family, n) in cases {
-        let instance = generate(family, n, DEFAULT_SEED);
-        for aods in 1..=4_usize {
-            let result = run_instance(&instance, aods, storage);
-            println!(
-                "{:<20} {:>6} {:>14.1} {:>12.3e} {:>12}",
-                instance.name, aods, result.execution_time_us, result.fidelity, result.stages
-            );
-            results.push(Fig7Point { aods, result });
+    // Fan the instance × AOD-count grid out over the POWERMOVE_THREADS pool;
+    // par_map keeps the results in grid order for printing.
+    let instances: Vec<_> = cases
+        .into_iter()
+        .map(|(family, n)| generate(family, n, DEFAULT_SEED))
+        .collect();
+    let jobs: Vec<(usize, usize)> = (0..instances.len())
+        .flat_map(|i| (1..=4_usize).map(move |aods| (i, aods)))
+        .collect();
+    let results: Vec<Fig7Point> = ThreadPool::from_env().par_map(jobs, |(i, aods)| Fig7Point {
+        aods,
+        result: run_instance(&instances[i], aods, storage),
+    });
+
+    for (i, point) in results.iter().enumerate() {
+        println!(
+            "{:<20} {:>6} {:>14.1} {:>12.3e} {:>12}",
+            point.result.benchmark,
+            point.aods,
+            point.result.execution_time_us,
+            point.result.fidelity,
+            point.result.stages
+        );
+        if (i + 1) % 4 == 0 {
+            println!();
         }
-        println!();
     }
     if let Some(path) = json_path {
         write_json(&path, &results);

@@ -12,7 +12,7 @@
 //! names (e.g. `QAOA-regular3` or `BV-70`); `--json` additionally writes the
 //! rows as a JSON report.
 
-use powermove_bench::{table3_row, take_json_path, write_json, Table3Row, DEFAULT_SEED};
+use powermove_bench::{table3_rows, take_json_path, write_json, Table3Row, DEFAULT_SEED};
 use powermove_benchmarks::table2_suite;
 
 fn main() {
@@ -36,12 +36,14 @@ fn main() {
         "Our Tc(s)",
         "Tc.Impr"
     );
-    let mut rows: Vec<Table3Row> = Vec::new();
-    for instance in suite
-        .iter()
+    // The instance × configuration matrix runs in parallel on the
+    // POWERMOVE_THREADS pool; rows come back in suite order.
+    let selected: Vec<_> = suite
+        .into_iter()
         .filter(|i| filter.is_empty() || i.name.contains(&filter))
-    {
-        let row = table3_row(instance);
+        .collect();
+    let rows: Vec<Table3Row> = table3_rows(&selected);
+    for row in &rows {
         let our_tcomp = 0.5 * (row.non_storage.compile_time_s + row.with_storage.compile_time_s);
         println!(
             "{:<18} {:>12.3e} {:>12.3e} {:>12.3e} {:>8.2}x | {:>12.1} {:>12.1} {:>12.1} {:>6.2}x | {:>10.3} {:>10.3} {:>7.2}x",
@@ -58,7 +60,6 @@ fn main() {
             our_tcomp,
             row.compile_time_improvement(),
         );
-        rows.push(row);
     }
     if let Some(path) = json_path {
         write_json(&path, &rows);

@@ -1,0 +1,602 @@
+//! The benchmark-regression gate behind the `bench-gate` binary.
+//!
+//! CI runs the full backend × suite matrix ([`run_matrix`]), converts the
+//! results into [`BaselineEntry`] records, and compares them against the
+//! checked-in `bench/baseline.json` with a configurable [`GateTolerance`]:
+//!
+//! * **fidelity** — higher is better, relative tolerance;
+//! * **execution time** — lower is better, relative tolerance;
+//! * **compile wall-clock** — lower is better, generous relative tolerance
+//!   plus an absolute floor below which runs are considered noise (compile
+//!   times of small instances are microseconds and meaningless to compare
+//!   across machines);
+//! * **stages / transfers** — lower is better, exact (the compilers are
+//!   deterministic, so any drift is a real behaviour change);
+//! * **CZ gate count** — must match exactly (a mismatch means the benchmark
+//!   suite itself changed and the baseline needs a refresh).
+//!
+//! Every metric gets a [`Verdict`]; entries present on only one side are
+//! reported as missing. The gate passes only when there is no regression
+//! and no missing entry — improvements pass (with a nudge to refresh the
+//! baseline via `bench-gate --update`).
+//!
+//! [`run_matrix`]: crate::run_matrix
+
+use crate::RunResult;
+use serde::{Serialize, Value};
+use std::fmt;
+use std::path::Path;
+
+/// Default relative tolerance for fidelity comparisons.
+pub const DEFAULT_FIDELITY_TOLERANCE: f64 = 0.02;
+/// Default relative tolerance for execution-time comparisons.
+pub const DEFAULT_EXEC_TIME_TOLERANCE: f64 = 0.05;
+/// Default relative tolerance for compile wall-clock comparisons (generous:
+/// CI machines vary widely).
+pub const DEFAULT_COMPILE_TIME_TOLERANCE: f64 = 3.0;
+/// Compile times where both sides sit below this floor (seconds) are treated
+/// as noise and pass unconditionally. The floor is deliberately high:
+/// sub-second wall clocks on shared CI runners are dominated by scheduler
+/// noise and core-count differences (the matrix itself runs multi-threaded),
+/// while real algorithmic regressions push compiles well past a second.
+pub const DEFAULT_COMPILE_TIME_FLOOR_S: f64 = 1.0;
+
+/// Tolerances applied by [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GateTolerance {
+    /// Relative slack on fidelity (higher is better): a current value below
+    /// `baseline * (1 - fidelity)` regresses.
+    pub fidelity: f64,
+    /// Relative slack on execution time (lower is better): a current value
+    /// above `baseline * (1 + exec_time)` regresses.
+    pub exec_time: f64,
+    /// Relative slack on compile wall-clock time (lower is better).
+    pub compile_time: f64,
+    /// Absolute compile-time floor in seconds; if both baseline and current
+    /// are below it, the comparison passes regardless of ratio.
+    pub compile_time_floor_s: f64,
+}
+
+impl Default for GateTolerance {
+    fn default() -> Self {
+        GateTolerance {
+            fidelity: DEFAULT_FIDELITY_TOLERANCE,
+            exec_time: DEFAULT_EXEC_TIME_TOLERANCE,
+            compile_time: DEFAULT_COMPILE_TIME_TOLERANCE,
+            compile_time_floor_s: DEFAULT_COMPILE_TIME_FLOOR_S,
+        }
+    }
+}
+
+/// One benchmark × compiler cell of the baseline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BaselineEntry {
+    /// Registry id of the backend, e.g. `"powermove-storage"`.
+    pub compiler: String,
+    /// Benchmark name, e.g. `"QAOA-regular3-30"`.
+    pub benchmark: String,
+    /// Output fidelity excluding the 1Q factor.
+    pub fidelity: f64,
+    /// Execution time in microseconds.
+    pub execution_time_us: f64,
+    /// Compilation wall-clock time in seconds.
+    pub compile_time_s: f64,
+    /// Number of Rydberg stages.
+    pub stages: usize,
+    /// Number of SLM↔AOD transfers.
+    pub transfers: usize,
+    /// Number of CZ gates (identity check: drift means the suite changed).
+    pub cz_gates: usize,
+}
+
+impl From<&RunResult> for BaselineEntry {
+    fn from(result: &RunResult) -> Self {
+        BaselineEntry {
+            compiler: result.compiler.clone(),
+            benchmark: result.benchmark.clone(),
+            fidelity: result.fidelity,
+            execution_time_us: result.execution_time_us,
+            compile_time_s: result.compile_time_s,
+            stages: result.stages,
+            transfers: result.transfers,
+            cz_gates: result.cz_gates,
+        }
+    }
+}
+
+/// A parsed `bench/baseline.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct Baseline {
+    /// The recorded entries, in matrix order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Errors produced while loading a baseline file.
+#[derive(Debug)]
+pub enum GateError {
+    /// The file could not be read.
+    Io(String),
+    /// The JSON was malformed or missing required fields.
+    Parse(String),
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::Io(msg) => write!(f, "baseline I/O error: {msg}"),
+            GateError::Parse(msg) => write!(f, "baseline parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+fn field<'v>(object: &'v Value, key: &str, index: usize) -> Result<&'v Value, GateError> {
+    object
+        .get(key)
+        .ok_or_else(|| GateError::Parse(format!("entry {index}: missing field `{key}`")))
+}
+
+fn f64_field(object: &Value, key: &str, index: usize) -> Result<f64, GateError> {
+    field(object, key, index)?
+        .as_f64()
+        .ok_or_else(|| GateError::Parse(format!("entry {index}: `{key}` is not a number")))
+}
+
+fn usize_field(object: &Value, key: &str, index: usize) -> Result<usize, GateError> {
+    let value = field(object, key, index)?
+        .as_i64()
+        .ok_or_else(|| GateError::Parse(format!("entry {index}: `{key}` is not an integer")))?;
+    usize::try_from(value)
+        .map_err(|_| GateError::Parse(format!("entry {index}: `{key}` is negative")))
+}
+
+fn str_field(object: &Value, key: &str, index: usize) -> Result<String, GateError> {
+    Ok(field(object, key, index)?
+        .as_str()
+        .ok_or_else(|| GateError::Parse(format!("entry {index}: `{key}` is not a string")))?
+        .to_string())
+}
+
+impl Baseline {
+    /// Captures the gate metrics of a matrix run as a new baseline.
+    #[must_use]
+    pub fn from_results(results: &[RunResult]) -> Self {
+        Baseline {
+            entries: results.iter().map(BaselineEntry::from).collect(),
+        }
+    }
+
+    /// Parses the JSON text of a baseline file.
+    ///
+    /// The expected shape is the one [`Baseline`] serializes to:
+    /// `{"entries": [{"compiler": ..., "benchmark": ..., ...}, ...]}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Parse`] on malformed JSON or missing/mistyped
+    /// fields.
+    pub fn parse(text: &str) -> Result<Self, GateError> {
+        let root = serde_json::from_str(text).map_err(|e| GateError::Parse(e.to_string()))?;
+        let entries = root
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| GateError::Parse("missing top-level `entries` array".to_string()))?;
+        let entries = entries
+            .iter()
+            .enumerate()
+            .map(|(index, entry)| {
+                Ok(BaselineEntry {
+                    compiler: str_field(entry, "compiler", index)?,
+                    benchmark: str_field(entry, "benchmark", index)?,
+                    fidelity: f64_field(entry, "fidelity", index)?,
+                    execution_time_us: f64_field(entry, "execution_time_us", index)?,
+                    compile_time_s: f64_field(entry, "compile_time_s", index)?,
+                    stages: usize_field(entry, "stages", index)?,
+                    transfers: usize_field(entry, "transfers", index)?,
+                    cz_gates: usize_field(entry, "cz_gates", index)?,
+                })
+            })
+            .collect::<Result<Vec<_>, GateError>>()?;
+        Ok(Baseline { entries })
+    }
+
+    /// Loads and parses a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::Io`] if the file cannot be read and
+    /// [`GateError::Parse`] if its contents are malformed.
+    pub fn load(path: &Path) -> Result<Self, GateError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| GateError::Io(format!("{}: {e}", path.display())))?;
+        Baseline::parse(&text)
+    }
+
+    /// Looks up the entry for one compiler × benchmark cell.
+    #[must_use]
+    pub fn entry(&self, compiler: &str, benchmark: &str) -> Option<&BaselineEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.compiler == compiler && e.benchmark == benchmark)
+    }
+}
+
+/// Outcome of one metric comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// Within tolerance of the baseline.
+    Pass,
+    /// Better than the baseline by more than the tolerance. Worth a
+    /// `bench-gate --update` so future regressions are caught from the new
+    /// level.
+    Improved,
+    /// Worse than the baseline by more than the tolerance: the gate fails.
+    Regressed,
+}
+
+/// One metric of one matrix cell compared against the baseline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricCheck {
+    /// Registry id of the backend.
+    pub compiler: String,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Metric name, e.g. `"fidelity"`.
+    pub metric: &'static str,
+    /// The recorded baseline value.
+    pub baseline: f64,
+    /// The value measured by this run.
+    pub current: f64,
+    /// The comparison outcome.
+    pub verdict: Verdict,
+}
+
+/// The full comparison produced by [`compare`].
+#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+pub struct GateReport {
+    /// Every metric comparison, in matrix order.
+    pub checks: Vec<MetricCheck>,
+    /// `(compiler, benchmark)` cells recorded in the baseline but absent
+    /// from the current run — the suite shrank, which fails the gate.
+    pub missing_in_current: Vec<(String, String)>,
+    /// `(compiler, benchmark)` cells produced by the current run but absent
+    /// from the baseline — new coverage that needs `--update` to be gated.
+    pub missing_in_baseline: Vec<(String, String)>,
+}
+
+impl GateReport {
+    /// The checks that regressed.
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricCheck> {
+        self.checks
+            .iter()
+            .filter(|c| c.verdict == Verdict::Regressed)
+    }
+
+    /// The checks that improved beyond tolerance.
+    pub fn improvements(&self) -> impl Iterator<Item = &MetricCheck> {
+        self.checks
+            .iter()
+            .filter(|c| c.verdict == Verdict::Improved)
+    }
+
+    /// Whether the gate passes: no regression and no missing entry on
+    /// either side. Improvements do not fail the gate.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+            && self.missing_in_current.is_empty()
+            && self.missing_in_baseline.is_empty()
+    }
+}
+
+/// Higher-is-better comparison with relative tolerance.
+fn check_higher(baseline: f64, current: f64, tolerance: f64) -> Verdict {
+    if current < baseline * (1.0 - tolerance) {
+        Verdict::Regressed
+    } else if current > baseline * (1.0 + tolerance) {
+        Verdict::Improved
+    } else {
+        Verdict::Pass
+    }
+}
+
+/// Lower-is-better comparison with relative tolerance.
+fn check_lower(baseline: f64, current: f64, tolerance: f64) -> Verdict {
+    if current > baseline * (1.0 + tolerance) {
+        Verdict::Regressed
+    } else if current < baseline * (1.0 - tolerance) {
+        Verdict::Improved
+    } else {
+        Verdict::Pass
+    }
+}
+
+/// Exact comparison for deterministic integer metrics (lower is better).
+fn check_exact_lower(baseline: f64, current: f64) -> Verdict {
+    if current > baseline {
+        Verdict::Regressed
+    } else if current < baseline {
+        Verdict::Improved
+    } else {
+        Verdict::Pass
+    }
+}
+
+/// Compares a matrix run against a recorded baseline.
+///
+/// Every `(compiler, benchmark)` cell present on both sides contributes one
+/// [`MetricCheck`] per gated metric; cells present on only one side land in
+/// the report's missing lists. See the module docs for the metric policy.
+#[must_use]
+pub fn compare(baseline: &Baseline, current: &[BaselineEntry], tol: &GateTolerance) -> GateReport {
+    let mut report = GateReport::default();
+    for entry in current {
+        let Some(base) = baseline.entry(&entry.compiler, &entry.benchmark) else {
+            report
+                .missing_in_baseline
+                .push((entry.compiler.clone(), entry.benchmark.clone()));
+            continue;
+        };
+        let mut push = |metric: &'static str, baseline: f64, current: f64, verdict: Verdict| {
+            report.checks.push(MetricCheck {
+                compiler: entry.compiler.clone(),
+                benchmark: entry.benchmark.clone(),
+                metric,
+                baseline,
+                current,
+                verdict,
+            });
+        };
+        push(
+            "fidelity",
+            base.fidelity,
+            entry.fidelity,
+            check_higher(base.fidelity, entry.fidelity, tol.fidelity),
+        );
+        push(
+            "execution_time_us",
+            base.execution_time_us,
+            entry.execution_time_us,
+            check_lower(
+                base.execution_time_us,
+                entry.execution_time_us,
+                tol.exec_time,
+            ),
+        );
+        let compile_verdict =
+            if base.compile_time_s.max(entry.compile_time_s) < tol.compile_time_floor_s {
+                Verdict::Pass
+            } else {
+                check_lower(base.compile_time_s, entry.compile_time_s, tol.compile_time)
+            };
+        push(
+            "compile_time_s",
+            base.compile_time_s,
+            entry.compile_time_s,
+            compile_verdict,
+        );
+        push(
+            "stages",
+            base.stages as f64,
+            entry.stages as f64,
+            check_exact_lower(base.stages as f64, entry.stages as f64),
+        );
+        push(
+            "transfers",
+            base.transfers as f64,
+            entry.transfers as f64,
+            check_exact_lower(base.transfers as f64, entry.transfers as f64),
+        );
+        // CZ gates are an identity check: any drift (either direction)
+        // means the generated suite changed and the baseline is stale.
+        let cz_verdict = if entry.cz_gates == base.cz_gates {
+            Verdict::Pass
+        } else {
+            Verdict::Regressed
+        };
+        push(
+            "cz_gates",
+            base.cz_gates as f64,
+            entry.cz_gates as f64,
+            cz_verdict,
+        );
+    }
+    for base in &baseline.entries {
+        if !current
+            .iter()
+            .any(|e| e.compiler == base.compiler && e.benchmark == base.benchmark)
+        {
+            report
+                .missing_in_current
+                .push((base.compiler.clone(), base.benchmark.clone()));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(compiler: &str, benchmark: &str) -> BaselineEntry {
+        BaselineEntry {
+            compiler: compiler.to_string(),
+            benchmark: benchmark.to_string(),
+            fidelity: 0.8,
+            execution_time_us: 1000.0,
+            compile_time_s: 2.0,
+            stages: 10,
+            transfers: 40,
+            cz_gates: 15,
+        }
+    }
+
+    fn baseline() -> Baseline {
+        Baseline {
+            entries: vec![entry("powermove-storage", "BV-14"), entry("enola", "BV-14")],
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let report = compare(&baseline(), &baseline().entries, &GateTolerance::default());
+        assert!(report.passed());
+        assert_eq!(report.checks.len(), 12);
+        assert!(report.checks.iter().all(|c| c.verdict == Verdict::Pass));
+    }
+
+    #[test]
+    fn fidelity_regression_fails_and_within_tolerance_passes() {
+        let tol = GateTolerance::default();
+        let mut current = baseline().entries;
+        current[0].fidelity = 0.8 * (1.0 - tol.fidelity) - 1e-9;
+        let report = compare(&baseline(), &current, &tol);
+        assert!(!report.passed());
+        let regression = report.regressions().next().unwrap();
+        assert_eq!(regression.metric, "fidelity");
+        assert_eq!(regression.compiler, "powermove-storage");
+
+        current[0].fidelity = 0.8 * (1.0 - tol.fidelity) + 1e-9;
+        assert!(compare(&baseline(), &current, &tol).passed());
+    }
+
+    #[test]
+    fn fidelity_improvement_is_reported_but_passes() {
+        let mut current = baseline().entries;
+        current[0].fidelity = 0.9;
+        let report = compare(&baseline(), &current, &GateTolerance::default());
+        assert!(report.passed());
+        let improvement = report.improvements().next().unwrap();
+        assert_eq!(improvement.metric, "fidelity");
+        assert_eq!(improvement.verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn execution_time_regression_fails() {
+        let tol = GateTolerance::default();
+        let mut current = baseline().entries;
+        current[1].execution_time_us = 1000.0 * (1.0 + tol.exec_time) + 1e-6;
+        let report = compare(&baseline(), &current, &tol);
+        assert!(!report.passed());
+        assert_eq!(
+            report.regressions().next().unwrap().metric,
+            "execution_time_us"
+        );
+    }
+
+    #[test]
+    fn compile_time_noise_below_floor_passes() {
+        let mut base = baseline();
+        base.entries[0].compile_time_s = 0.001;
+        let mut current = base.entries.clone();
+        // 100x slower, but both sides below the floor: noise, not signal.
+        current[0].compile_time_s = 0.1;
+        assert!(compare(&base, &current, &GateTolerance::default()).passed());
+    }
+
+    #[test]
+    fn compile_time_regression_above_floor_fails() {
+        let tol = GateTolerance::default();
+        let mut current = baseline().entries;
+        current[0].compile_time_s = 2.0 * (1.0 + tol.compile_time) + 0.1;
+        let report = compare(&baseline(), &current, &tol);
+        assert!(!report.passed());
+        assert_eq!(
+            report.regressions().next().unwrap().metric,
+            "compile_time_s"
+        );
+    }
+
+    #[test]
+    fn stage_count_drift_is_exact() {
+        let mut current = baseline().entries;
+        current[0].stages = 11;
+        let report = compare(&baseline(), &current, &GateTolerance::default());
+        assert_eq!(report.regressions().next().unwrap().metric, "stages");
+
+        current[0].stages = 9;
+        let report = compare(&baseline(), &current, &GateTolerance::default());
+        assert!(report.passed());
+        assert_eq!(report.improvements().next().unwrap().metric, "stages");
+    }
+
+    #[test]
+    fn cz_gate_drift_fails_in_both_directions() {
+        for cz in [14, 16] {
+            let mut current = baseline().entries;
+            current[0].cz_gates = cz;
+            let report = compare(&baseline(), &current, &GateTolerance::default());
+            assert!(!report.passed(), "cz_gates {cz} must fail");
+            assert_eq!(report.regressions().next().unwrap().metric, "cz_gates");
+        }
+    }
+
+    #[test]
+    fn missing_entries_are_reported_on_both_sides() {
+        let current = vec![
+            entry("powermove-storage", "BV-14"),
+            entry("powermove-storage", "QFT-18"),
+        ];
+        let report = compare(&baseline(), &current, &GateTolerance::default());
+        assert!(!report.passed());
+        assert_eq!(
+            report.missing_in_current,
+            vec![("enola".to_string(), "BV-14".to_string())]
+        );
+        assert_eq!(
+            report.missing_in_baseline,
+            vec![("powermove-storage".to_string(), "QFT-18".to_string())]
+        );
+    }
+
+    #[test]
+    fn baseline_serializes_and_parses_back() {
+        let original = baseline();
+        let json = serde_json::to_string_pretty(&original).unwrap();
+        let parsed = Baseline::parse(&json).unwrap();
+        assert_eq!(parsed, original);
+        assert_eq!(parsed.entry("enola", "BV-14").unwrap().stages, 10);
+        assert!(parsed.entry("enola", "nope").is_none());
+    }
+
+    #[test]
+    fn parse_reports_missing_and_mistyped_fields() {
+        assert!(matches!(
+            Baseline::parse("not json"),
+            Err(GateError::Parse(_))
+        ));
+        assert!(matches!(
+            Baseline::parse(r#"{"no_entries": []}"#),
+            Err(GateError::Parse(_))
+        ));
+        let missing = r#"{"entries": [{"compiler": "x"}]}"#;
+        let err = Baseline::parse(missing).unwrap_err();
+        assert!(err.to_string().contains("benchmark"));
+        let mistyped = r#"{"entries": [{"compiler": "x", "benchmark": "y",
+            "fidelity": "high", "execution_time_us": 1.0, "compile_time_s": 1.0,
+            "stages": 1, "transfers": 1, "cz_gates": 1}]}"#;
+        let err = Baseline::parse(mistyped).unwrap_err();
+        assert!(err.to_string().contains("fidelity"));
+        let negative = r#"{"entries": [{"compiler": "x", "benchmark": "y",
+            "fidelity": 1.0, "execution_time_us": 1.0, "compile_time_s": 1.0,
+            "stages": -1, "transfers": 1, "cz_gates": 1}]}"#;
+        assert!(Baseline::parse(negative).is_err());
+    }
+
+    #[test]
+    fn tolerance_defaults_are_sane() {
+        let tol = GateTolerance::default();
+        assert!(tol.fidelity > 0.0 && tol.fidelity < 0.5);
+        assert!(tol.exec_time > 0.0 && tol.exec_time < 0.5);
+        assert!(tol.compile_time >= 1.0, "wall clock needs generous slack");
+        assert!(tol.compile_time_floor_s > 0.0);
+    }
+
+    #[test]
+    fn empty_baseline_vs_empty_run_passes() {
+        let report = compare(&Baseline::default(), &[], &GateTolerance::default());
+        assert!(report.passed());
+        assert!(report.checks.is_empty());
+    }
+}

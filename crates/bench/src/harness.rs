@@ -5,10 +5,28 @@
 //! scored by exactly the same code path, so new strategies (ablations,
 //! alternative routers, external baselines) appear in every table and figure
 //! without touching the harness.
+//!
+//! The harness is the second parallel layer of the workspace (the compile
+//! pipeline itself is the first): [`run_all`], [`run_matrix`] and
+//! [`table3_rows`] fan the backend × suite matrix out over a
+//! [`ThreadPool`] sized by `POWERMOVE_THREADS` (default: available cores),
+//! with results always returned in deterministic (instance-major,
+//! registration-order) order. Backends compile through `&self` from several
+//! workers at once — which is why [`CompilerBackend`] requires
+//! `Send + Sync`.
+//!
+//! Caveat on wall clocks: a cell's `compile_time_s` is measured while other
+//! matrix cells compete for the same cores, so parallel-run compile times
+//! (and Table 3's compile-time improvement ratios) include scheduling
+//! contention. Fidelity, execution time and schedule-shape metrics are
+//! unaffected (compilation is deterministic). For paper-grade compile-time
+//! numbers, run with `POWERMOVE_THREADS=1`; the `bench-gate` tolerances
+//! absorb the contention noise instead (generous slack + absolute floor).
 
 use enola_baseline::{EnolaCompiler, EnolaConfig};
 use powermove::{CompilerBackend, CompilerConfig, PowerMoveCompiler};
 use powermove_benchmarks::BenchmarkInstance;
+use powermove_exec::ThreadPool;
 use powermove_fidelity::{evaluate_program, FidelityBreakdown};
 use powermove_hardware::Architecture;
 use powermove_schedule::PassTiming;
@@ -96,27 +114,71 @@ impl BackendRegistry {
 
     /// The three evaluation configurations of the paper, in Table 3 column
     /// order: [`ENOLA`], [`POWERMOVE_NON_STORAGE`], [`POWERMOVE_STORAGE`].
+    ///
+    /// The PowerMove backends pin their pipeline to one worker
+    /// (`with_threads(1)`): the harness matrix is already fanned out over
+    /// the `POWERMOVE_THREADS` pool, and nesting an N-worker pipeline pool
+    /// inside each of N matrix workers would oversubscribe the machine
+    /// quadratically. Compiled programs are byte-identical either way; for
+    /// single-instance workloads that want pipeline-level parallelism,
+    /// register a backend configured with
+    /// [`CompilerConfig::with_threads`](powermove::CompilerConfig::with_threads).
     #[must_use]
     pub fn standard() -> Self {
         let mut registry = BackendRegistry::new();
         registry.register(ENOLA, Box::new(EnolaCompiler::new(EnolaConfig::default())));
         registry.register(
             POWERMOVE_NON_STORAGE,
-            Box::new(PowerMoveCompiler::new(CompilerConfig::without_storage())),
+            Box::new(PowerMoveCompiler::new(
+                CompilerConfig::without_storage().with_threads(1),
+            )),
         );
         registry.register(
             POWERMOVE_STORAGE,
-            Box::new(PowerMoveCompiler::new(CompilerConfig::default())),
+            Box::new(PowerMoveCompiler::new(
+                CompilerConfig::default().with_threads(1),
+            )),
         );
         registry
     }
 
-    /// Registers a backend under `id`, replacing any previous entry with the
-    /// same id.
-    pub fn register(&mut self, id: impl Into<String>, backend: Box<dyn CompilerBackend>) {
+    /// Registers a backend under `id`.
+    ///
+    /// Ids are unique: registering an id that is already present **replaces**
+    /// the old entry, and the displaced backend is returned so callers can
+    /// detect — or chain onto — the collision. The replacement is appended
+    /// at the end of the iteration order, like a fresh registration (the old
+    /// entry's position is not preserved). Registering a fresh id returns
+    /// `None`.
+    ///
+    /// ```
+    /// use powermove::{CompilerConfig, PowerMoveCompiler};
+    /// use powermove_bench::{BackendRegistry, ENOLA};
+    ///
+    /// let mut registry = BackendRegistry::standard();
+    /// let displaced = registry.register(
+    ///     ENOLA,
+    ///     Box::new(PowerMoveCompiler::new(CompilerConfig::default())),
+    /// );
+    /// assert_eq!(displaced.unwrap().name(), "enola");
+    /// assert_eq!(registry.len(), 3); // still three entries, no duplicates
+    /// assert!(registry
+    ///     .register("brand-new", Box::new(PowerMoveCompiler::default()))
+    ///     .is_none());
+    /// ```
+    pub fn register(
+        &mut self,
+        id: impl Into<String>,
+        backend: Box<dyn CompilerBackend>,
+    ) -> Option<Box<dyn CompilerBackend>> {
         let id = id.into();
-        self.entries.retain(|e| e.id != id);
+        let displaced = self
+            .entries
+            .iter()
+            .position(|e| e.id == id)
+            .map(|index| self.entries.remove(index).backend);
         self.entries.push(RegisteredBackend { id, backend });
+        displaced
     }
 
     /// Looks up a registered entry by id.
@@ -241,16 +303,48 @@ pub fn score_program(
 }
 
 /// Runs every backend of the registry on one benchmark instance.
+///
+/// Backends run concurrently on a pool sized by `POWERMOVE_THREADS`
+/// (default: available cores); results come back in registration order
+/// regardless of completion order.
+///
+/// # Panics
+///
+/// Panics if compilation or validation fails (see [`run_instance`]).
 #[must_use]
 pub fn run_all(
     instance: &BenchmarkInstance,
     num_aods: usize,
     registry: &BackendRegistry,
 ) -> Vec<RunResult> {
-    registry
+    let entries: Vec<&RegisteredBackend> = registry.iter().collect();
+    ThreadPool::from_env().par_map(entries, |entry| run_instance(instance, num_aods, entry))
+}
+
+/// Runs the full backend × suite matrix: every registered backend on every
+/// benchmark instance, fanned out over a pool sized by `POWERMOVE_THREADS`.
+///
+/// Results are returned in deterministic instance-major order (all backends
+/// of `instances[0]` in registration order, then `instances[1]`, ...), so
+/// the output is independent of scheduling. This is the entry point behind
+/// the table/figure binaries and the `bench-gate` CI gate.
+///
+/// # Panics
+///
+/// Panics if compilation or validation fails (see [`run_instance`]).
+#[must_use]
+pub fn run_matrix(
+    instances: &[BenchmarkInstance],
+    num_aods: usize,
+    registry: &BackendRegistry,
+) -> Vec<RunResult> {
+    let jobs: Vec<(&BenchmarkInstance, &RegisteredBackend)> = instances
         .iter()
-        .map(|entry| run_instance(instance, num_aods, entry))
-        .collect()
+        .flat_map(|instance| registry.iter().map(move |entry| (instance, entry)))
+        .collect();
+    ThreadPool::from_env().par_map(jobs, |(instance, entry)| {
+        run_instance(instance, num_aods, entry)
+    })
 }
 
 /// One row of Table 3: the three standard configurations on one benchmark
@@ -307,20 +401,42 @@ fn safe_ratio(numerator: f64, denominator: f64) -> f64 {
 /// Panics if compilation or validation fails (see [`run_instance`]).
 #[must_use]
 pub fn table3_row(instance: &BenchmarkInstance) -> Table3Row {
+    table3_rows(std::slice::from_ref(instance)).remove(0)
+}
+
+/// Runs the three standard Table 3 configurations over a whole suite, with
+/// the instance × configuration matrix fanned out over the thread pool.
+///
+/// Rows come back in suite order.
+///
+/// # Panics
+///
+/// Panics if compilation or validation fails (see [`run_instance`]).
+#[must_use]
+pub fn table3_rows(instances: &[BenchmarkInstance]) -> Vec<Table3Row> {
     let registry = BackendRegistry::standard();
-    let row_for = |id: &str| {
-        run_instance(
-            instance,
-            1,
-            registry.entry(id).expect("standard backend registered"),
-        )
-    };
-    Table3Row {
-        benchmark: instance.name.clone(),
-        enola: row_for(ENOLA),
-        non_storage: row_for(POWERMOVE_NON_STORAGE),
-        with_storage: row_for(POWERMOVE_STORAGE),
-    }
+    let results = run_matrix(instances, 1, &registry);
+    results
+        .chunks_exact(registry.len())
+        .zip(instances)
+        .map(|(chunk, instance)| {
+            // Select columns by registry id, not position, so the row stays
+            // correct if `standard()` ever reorders or grows.
+            let column = |id: &str| {
+                chunk
+                    .iter()
+                    .find(|r| r.compiler == id)
+                    .unwrap_or_else(|| panic!("standard registry provides {id}"))
+                    .clone()
+            };
+            Table3Row {
+                benchmark: instance.name.clone(),
+                enola: column(ENOLA),
+                non_storage: column(POWERMOVE_NON_STORAGE),
+                with_storage: column(POWERMOVE_STORAGE),
+            }
+        })
+        .collect()
 }
 
 /// Extracts a `--json <path>` flag from a CLI argument list, removing both
@@ -418,14 +534,85 @@ mod tests {
     }
 
     #[test]
-    fn registering_same_id_replaces() {
+    fn registering_same_id_replaces_and_returns_the_old_backend() {
         let mut registry = BackendRegistry::standard();
-        registry.register(
+        let displaced = registry.register(
             ENOLA,
             Box::new(PowerMoveCompiler::new(CompilerConfig::default())),
         );
         assert_eq!(registry.len(), 3);
         assert_eq!(registry.get(ENOLA).unwrap().name(), "powermove");
+        assert_eq!(displaced.expect("enola was displaced").name(), "enola");
+        // The replacement moved to the back of the iteration order.
+        assert_eq!(
+            registry.iter().map(RegisteredBackend::id).last(),
+            Some(ENOLA)
+        );
+    }
+
+    #[test]
+    fn registering_a_fresh_id_returns_none() {
+        let mut registry = BackendRegistry::new();
+        assert!(registry
+            .register("a", Box::new(PowerMoveCompiler::default()))
+            .is_none());
+        assert!(registry
+            .register("b", Box::new(PowerMoveCompiler::default()))
+            .is_none());
+        assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn run_matrix_is_instance_major_and_deterministic() {
+        let registry = BackendRegistry::standard();
+        let instances = vec![
+            generate(BenchmarkFamily::Bv, 8, DEFAULT_SEED),
+            generate(BenchmarkFamily::Qft, 6, DEFAULT_SEED),
+        ];
+        let results = run_matrix(&instances, 1, &registry);
+        assert_eq!(results.len(), 6);
+        let labels: Vec<(String, String)> = results
+            .iter()
+            .map(|r| (r.benchmark.clone(), r.compiler.clone()))
+            .collect();
+        for (i, instance) in instances.iter().enumerate() {
+            for (j, entry) in registry.iter().enumerate() {
+                assert_eq!(
+                    labels[i * registry.len() + j],
+                    (instance.name.clone(), entry.id().to_string())
+                );
+            }
+        }
+        // The parallel matrix agrees with the sequential per-instance path
+        // on every deterministic metric.
+        for (result, instance) in results.chunks_exact(3).zip(&instances) {
+            for (parallel, entry) in result.iter().zip(registry.iter()) {
+                let sequential = run_instance(instance, 1, entry);
+                assert_eq!(parallel.fidelity, sequential.fidelity);
+                assert_eq!(parallel.execution_time_us, sequential.execution_time_us);
+                assert_eq!(parallel.stages, sequential.stages);
+                assert_eq!(parallel.transfers, sequential.transfers);
+                assert_eq!(parallel.cz_gates, sequential.cz_gates);
+            }
+        }
+    }
+
+    #[test]
+    fn table3_rows_match_single_row_runs() {
+        let instances = vec![
+            generate(BenchmarkFamily::Bv, 8, DEFAULT_SEED),
+            generate(BenchmarkFamily::QaoaRegular3, 10, DEFAULT_SEED),
+        ];
+        let rows = table3_rows(&instances);
+        assert_eq!(rows.len(), 2);
+        for (row, instance) in rows.iter().zip(&instances) {
+            let single = table3_row(instance);
+            assert_eq!(row.benchmark, instance.name);
+            assert_eq!(row.enola.fidelity, single.enola.fidelity);
+            assert_eq!(row.non_storage.fidelity, single.non_storage.fidelity);
+            assert_eq!(row.with_storage.fidelity, single.with_storage.fidelity);
+            assert_eq!(row.with_storage.stages, single.with_storage.stages);
+        }
     }
 
     #[test]

@@ -20,14 +20,26 @@
 //! entry is a [`CompilerBackend`](powermove::CompilerBackend) trait object,
 //! so additional strategies (ablations, new routers) can be registered
 //! without modifying any experiment binary.
+//!
+//! The backend × suite matrix behind every binary fans out over the
+//! `powermove-exec` thread pool ([`run_matrix`], [`run_all`],
+//! [`table3_rows`]); set `POWERMOVE_THREADS` to pin the worker count.
+//!
+//! A seventh binary, `bench-gate`, runs the full matrix and compares the
+//! results against the checked-in `bench/baseline.json` (see the [`gate`]
+//! module), exiting non-zero on regression — CI runs it on every push.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod gate;
 pub mod harness;
 
+pub use gate::{
+    compare, Baseline, BaselineEntry, GateError, GateReport, GateTolerance, MetricCheck, Verdict,
+};
 pub use harness::{
-    run_all, run_instance, score_program, table3_row, take_json_path, write_json, BackendRegistry,
-    RegisteredBackend, RunResult, Table3Row, DEFAULT_SEED, ENOLA, POWERMOVE_NON_STORAGE,
-    POWERMOVE_STORAGE,
+    run_all, run_instance, run_matrix, score_program, table3_row, table3_rows, take_json_path,
+    write_json, BackendRegistry, RegisteredBackend, RunResult, Table3Row, DEFAULT_SEED, ENOLA,
+    POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE,
 };

@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 pub fn random_regular_graph(n: u32, d: u32, seed: u64) -> Vec<(u32, u32)> {
     assert!(d < n, "degree {d} must be smaller than vertex count {n}");
     assert!(
-        (n * d).is_multiple_of(2),
+        (n * d) % 2 == 0,
         "n*d must be even for a {d}-regular graph on {n} vertices"
     );
     let mut rng = StdRng::seed_from_u64(seed);
@@ -26,7 +26,7 @@ pub fn random_regular_graph(n: u32, d: u32, seed: u64) -> Vec<(u32, u32)> {
     // restarts is O(e^(d^2/4)), tiny for d in {3, 4}.
     loop {
         let mut stubs: Vec<u32> = (0..n)
-            .flat_map(|v| std::iter::repeat_n(v, d as usize))
+            .flat_map(|v| std::iter::repeat(v).take(d as usize))
             .collect();
         stubs.shuffle(&mut rng);
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity((n * d / 2) as usize);

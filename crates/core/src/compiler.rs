@@ -5,6 +5,7 @@ use crate::pipeline::{
 };
 use crate::{CompileError, CompilerConfig};
 use powermove_circuit::{BlockProgram, Circuit};
+use powermove_exec::{Parallelism, ThreadPool};
 use powermove_hardware::Architecture;
 use powermove_schedule::CompiledProgram;
 
@@ -29,6 +30,12 @@ use powermove_schedule::CompiledProgram;
 /// [`CompileMetadata`](powermove_schedule::CompileMetadata). The compiler
 /// implements [`CompilerBackend`], so it can be registered with the
 /// experiment harness as a trait object next to other strategies.
+///
+/// The [`StagePass`] and [`MovePass`] layers process independent CZ blocks
+/// and routed stages concurrently on a work-stealing pool
+/// ([`powermove_exec::ThreadPool`]); [`CompilerConfig::threads`] (or the
+/// `POWERMOVE_THREADS` environment variable) controls the worker count and
+/// the emitted program is byte-identical for every setting.
 ///
 /// # Example
 ///
@@ -108,9 +115,14 @@ impl PowerMoveCompiler {
         arch: &Architecture,
         mut ctx: CompileContext,
     ) -> Result<CompiledProgram, CompileError> {
-        let staged = StagePass::new(self.config.alpha).run(block_program, &mut ctx);
+        // One pool per compilation: workers are only alive while a parallel
+        // pass drains, and `threads == 1` (or `POWERMOVE_THREADS=1`) runs
+        // the passes inline with byte-identical output.
+        let pool = ThreadPool::new(Parallelism::from_setting(self.config.threads));
+        let staged = StagePass::new(self.config.alpha).run(block_program, &pool, &mut ctx);
         let routed = RoutePass::new(self.config.use_storage).run(&staged, arch, &mut ctx)?;
-        let instructions = MovePass::new(self.config.use_grouping).run(&routed, arch, &mut ctx);
+        let instructions =
+            MovePass::new(self.config.use_grouping).run(&routed, arch, &pool, &mut ctx);
 
         let metadata = ctx.finish("powermove", self.config.use_storage, staged.num_stages());
         Ok(CompiledProgram::new(

@@ -21,6 +21,12 @@ pub struct CompilerConfig {
     /// moves (Sec. 6). Disabled only by the grouping-ablation configuration,
     /// which emits every move as its own collective move.
     pub use_grouping: bool,
+    /// Worker threads for the parallel pipeline passes. `0` (the default)
+    /// resolves through `POWERMOVE_THREADS`, falling back to the available
+    /// core count; any other value pins the pool size. The compiled program
+    /// is byte-identical for every setting — parallelism only changes how
+    /// fast independent blocks are processed.
+    pub threads: usize,
 }
 
 impl CompilerConfig {
@@ -55,6 +61,14 @@ impl CompilerConfig {
         self.use_grouping = false;
         self
     }
+
+    /// Pins the worker-thread count of the parallel pipeline passes
+    /// (`0` restores the automatic `POWERMOVE_THREADS` / core-count default).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 impl Default for CompilerConfig {
@@ -63,6 +77,7 @@ impl Default for CompilerConfig {
             use_storage: true,
             alpha: 0.5,
             use_grouping: true,
+            threads: 0,
         }
     }
 }
@@ -90,6 +105,14 @@ mod tests {
     fn with_alpha_overrides() {
         let c = CompilerConfig::default().with_alpha(0.25);
         assert_eq!(c.alpha, 0.25);
+    }
+
+    #[test]
+    fn threads_default_to_automatic_and_can_be_pinned() {
+        assert_eq!(CompilerConfig::default().threads, 0);
+        let c = CompilerConfig::default().with_threads(4);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.with_threads(0).threads, 0);
     }
 
     #[test]

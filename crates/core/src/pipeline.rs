@@ -15,6 +15,17 @@
 //! `diagnostics` experiment binary, JSON reports) can attribute compilation
 //! time to pipeline phases.
 //!
+//! Passes whose units of work are independent — [`StagePass`] (per CZ
+//! block) and [`MovePass`] (per routed stage) — fan out over a
+//! [`ThreadPool`] with order-preserving `par_map`, so the emitted program is
+//! byte-identical for every `POWERMOVE_THREADS` setting. Each worker records
+//! into a [`CompileContext::scratch`] context that is merged back
+//! deterministically ([`CompileContext::merge`]); merged pass timings
+//! therefore report *total work time* (the sum across workers), which can
+//! exceed the wall-clock `compile_time` on multi-core runs. [`RoutePass`]
+//! stays sequential by construction: the router threads one mutable layout
+//! through every stage transition.
+//!
 //! The [`CompilerBackend`] trait is the open entry point tying it together:
 //! any compiler that lowers a [`BlockProgram`] onto an [`Architecture`] can
 //! implement it and participate in the experiment harness alongside
@@ -26,6 +37,7 @@ use crate::{
     CompileError, Router, Stage, StageRouting,
 };
 use powermove_circuit::{BlockProgram, Circuit, OneQubitGate, Qubit, Segment};
+use powermove_exec::ThreadPool;
 use powermove_hardware::{Architecture, Zone};
 use powermove_schedule::{
     CompileMetadata, CompiledProgram, Instruction, Layout, PassCounter, PassTiming,
@@ -76,7 +88,13 @@ use std::time::Instant;
 /// assert_eq!(program.cz_gate_count(), 1);
 /// # Ok::<(), powermove::CompileError>(())
 /// ```
-pub trait CompilerBackend {
+///
+/// Backends must be [`Send`] + [`Sync`]: the experiment harness fans the
+/// backend × suite matrix out over a thread pool, with several workers
+/// compiling through the same backend reference concurrently. `compile`
+/// takes `&self`, so any mutable tuning state needs interior mutability
+/// with synchronization.
+pub trait CompilerBackend: Send + Sync {
     /// Short identifier of the compilation strategy, e.g. `"powermove"`.
     fn name(&self) -> &str;
 
@@ -128,6 +146,35 @@ impl CompileContext {
             started: Some(Instant::now()),
             timings: Vec::new(),
             counters: Vec::new(),
+        }
+    }
+
+    /// Creates a worker-local context without an end-to-end clock.
+    ///
+    /// Parallel passes hand one scratch context to each unit of work and
+    /// fold the results back into the main context with
+    /// [`CompileContext::merge`], so per-pass totals stay accurate when
+    /// blocks are processed concurrently.
+    #[must_use]
+    pub fn scratch() -> Self {
+        CompileContext::default()
+    }
+
+    /// Accumulates another context's timings and counters into this one.
+    ///
+    /// Entries merge by name (summing), and previously unseen names keep the
+    /// order in which they are first encountered, so merging worker contexts
+    /// in input order yields a deterministic metadata layout.
+    pub fn merge(&mut self, other: CompileContext) {
+        for timing in other.timings {
+            if let Some(entry) = self.timings.iter_mut().find(|t| t.pass == timing.pass) {
+                entry.seconds += timing.seconds;
+            } else {
+                self.timings.push(timing);
+            }
+        }
+        for counter in other.counters {
+            self.count(&counter.name, counter.value);
         }
     }
 
@@ -255,6 +302,11 @@ impl StagedProgram {
 /// Pass 2: partitions each commuting CZ block into Rydberg stages via
 /// optimized edge colouring and orders the stages by the `α`-weighted
 /// interchange metric (Sec. 4 of the paper).
+///
+/// Every CZ block is independent, so the pass fans the blocks out over the
+/// given [`ThreadPool`]. `par_map` preserves input order and the per-block
+/// computation is deterministic, which keeps the staged program identical
+/// for every worker count.
 #[derive(Debug, Clone, Copy)]
 pub struct StagePass {
     alpha: f64,
@@ -270,28 +322,65 @@ impl StagePass {
         StagePass { alpha }
     }
 
-    /// Runs the pass.
+    /// Runs the pass, staging independent CZ blocks concurrently on `pool`.
     #[must_use]
-    pub fn run(&self, blocks: &BlockProgram, ctx: &mut CompileContext) -> StagedProgram {
-        ctx.time(Self::NAME, |ctx| {
-            let segments = blocks
-                .segments()
-                .iter()
-                .map(|segment| match segment {
-                    Segment::OneQubit(layer) => StagedSegment::OneQubit(layer.gates().to_vec()),
-                    Segment::Cz(block) => {
-                        let stages = schedule_stages(partition_stages(block), self.alpha);
-                        ctx.count("stages", stages.len() as u64);
-                        StagedSegment::Stages(stages)
-                    }
-                })
-                .collect();
-            StagedProgram {
-                num_qubits: blocks.num_qubits(),
-                segments,
-            }
-        })
+    pub fn run(
+        &self,
+        blocks: &BlockProgram,
+        pool: &ThreadPool,
+        ctx: &mut CompileContext,
+    ) -> StagedProgram {
+        let alpha = self.alpha;
+        let jobs: Vec<&Segment> = blocks.segments().iter().collect();
+        let segments = par_map_merging(
+            pool,
+            ctx,
+            Self::NAME,
+            jobs,
+            |segment, worker| match segment {
+                Segment::OneQubit(layer) => StagedSegment::OneQubit(layer.gates().to_vec()),
+                Segment::Cz(block) => worker.time(Self::NAME, |worker| {
+                    let stages = schedule_stages(partition_stages(block), alpha);
+                    worker.count("stages", stages.len() as u64);
+                    StagedSegment::Stages(stages)
+                }),
+            },
+        );
+        StagedProgram {
+            num_qubits: blocks.num_qubits(),
+            segments,
+        }
     }
+}
+
+/// Shared fan-out scaffolding of the parallel passes: registers `pass` in
+/// `ctx` (so it appears even for empty programs), maps `items` over `pool`
+/// with one [`CompileContext::scratch`] context per item, and merges the
+/// worker contexts back into `ctx` in input order — keeping timing/counter
+/// layout deterministic for every worker count.
+fn par_map_merging<T, R>(
+    pool: &ThreadPool,
+    ctx: &mut CompileContext,
+    pass: &str,
+    items: Vec<T>,
+    f: impl Fn(T, &mut CompileContext) -> R + Sync,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    ctx.time(pass, |_| ());
+    let mapped = pool.par_map(items, |item| {
+        let mut worker = CompileContext::scratch();
+        let out = f(item, &mut worker);
+        (out, worker)
+    });
+    let mut results = Vec::with_capacity(mapped.len());
+    for (out, worker) in mapped {
+        ctx.merge(worker);
+        results.push(out);
+    }
+    results
 }
 
 /// One segment of a [`RoutedProgram`].
@@ -350,6 +439,10 @@ impl RoutedProgram {
 
 /// Pass 3: runs the continuous router over every stage, producing the direct
 /// layout transitions (no reversion to an initial layout, Sec. 5).
+///
+/// This pass is inherently sequential: the router threads one mutable
+/// layout through the stage sequence, so each transition depends on the one
+/// before it. Parallelism lives in the neighbouring passes instead.
 #[derive(Debug, Clone, Copy)]
 pub struct RoutePass {
     use_storage: bool,
@@ -431,6 +524,11 @@ impl RoutePass {
 /// Pass 4: groups each stage's single-qubit moves into AOD-compatible
 /// collective moves, orders them for maximum storage dwell time, packs them
 /// onto the available AOD arrays (Sec. 6), and emits the instruction stream.
+///
+/// The grouping/ordering/packing of one stage depends only on that stage's
+/// routing plan, so the pass fans the routed segments out over the given
+/// [`ThreadPool`] and concatenates the per-segment instruction runs in
+/// program order — identical output for every worker count.
 #[derive(Debug, Clone, Copy)]
 pub struct MovePass {
     use_grouping: bool,
@@ -447,22 +545,24 @@ impl MovePass {
         MovePass { use_grouping }
     }
 
-    /// Runs the pass, emitting the final instruction stream.
+    /// Runs the pass, emitting the final instruction stream. Independent
+    /// routed stages are scheduled concurrently on `pool`.
     #[must_use]
     pub fn run(
         &self,
         routed: &RoutedProgram,
         arch: &Architecture,
+        pool: &ThreadPool,
         ctx: &mut CompileContext,
     ) -> Vec<Instruction> {
-        ctx.time(Self::NAME, |ctx| {
-            let mut instructions = Vec::new();
-            for segment in routed.segments() {
-                match segment {
-                    RoutedSegment::OneQubit(gates) => {
-                        instructions.push(Instruction::one_qubit_layer(gates.clone()));
-                    }
-                    RoutedSegment::Stage(RoutedStage { stage, routing }) => {
+        let jobs: Vec<&RoutedSegment> = routed.segments().iter().collect();
+        let runs = par_map_merging(pool, ctx, Self::NAME, jobs, |segment, worker| {
+            match segment {
+                RoutedSegment::OneQubit(gates) => {
+                    vec![Instruction::one_qubit_layer(gates.clone())]
+                }
+                RoutedSegment::Stage(RoutedStage { stage, routing }) => {
+                    worker.time(Self::NAME, |worker| {
                         // Storage-bound (and separation) moves are grouped and
                         // emitted strictly before the interaction moves: this
                         // realizes the move-in-first policy of Sec. 6.1 and
@@ -474,16 +574,16 @@ impl MovePass {
                             self.group(&routing.interaction_moves, arch),
                             arch,
                         ));
-                        ctx.count("coll_moves", ordered.len() as u64);
-                        let packed = pack_move_groups(ordered, arch.num_aods());
-                        ctx.count("move_groups", packed.len() as u64);
-                        instructions.extend(packed);
-                        instructions.push(Instruction::rydberg(stage.gates().to_vec()));
-                    }
+                        worker.count("coll_moves", ordered.len() as u64);
+                        let mut packed = pack_move_groups(ordered, arch.num_aods());
+                        worker.count("move_groups", packed.len() as u64);
+                        packed.push(Instruction::rydberg(stage.gates().to_vec()));
+                        packed
+                    })
                 }
             }
-            instructions
-        })
+        });
+        runs.into_iter().flatten().collect()
     }
 
     fn group(
@@ -503,9 +603,14 @@ impl MovePass {
 mod tests {
     use super::*;
     use crate::{CompilerConfig, PowerMoveCompiler};
+    use powermove_exec::Parallelism;
 
     fn q(i: u32) -> Qubit {
         Qubit::new(i)
+    }
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(Parallelism::fixed(2))
     }
 
     fn ring_circuit(n: u32) -> Circuit {
@@ -562,7 +667,7 @@ mod tests {
     fn stage_pass_partitions_every_gate() {
         let mut ctx = CompileContext::new();
         let blocks = SynthesisPass.run(&ring_circuit(6), &mut ctx);
-        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &pool(), &mut ctx);
         let staged_gates: usize = staged
             .segments()
             .iter()
@@ -588,7 +693,7 @@ mod tests {
         let arch = Architecture::for_qubits(6);
         let mut ctx = CompileContext::new();
         let blocks = SynthesisPass.run(&ring_circuit(6), &mut ctx);
-        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &pool(), &mut ctx);
         let routed = RoutePass::new(true).run(&staged, &arch, &mut ctx).unwrap();
         let routed_stage_count = routed
             .segments()
@@ -606,7 +711,7 @@ mod tests {
     fn route_pass_reports_capacity_errors() {
         let mut ctx = CompileContext::new();
         let blocks = SynthesisPass.run(&ring_circuit(10), &mut ctx);
-        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &pool(), &mut ctx);
         let tiny = Architecture::for_qubits(10)
             .with_grid(powermove_hardware::ZonedGrid::with_dims(2, 2, 4).unwrap());
         let result = RoutePass::new(true).run(&staged, &tiny, &mut ctx);
@@ -618,9 +723,9 @@ mod tests {
         let arch = Architecture::for_qubits(6);
         let mut ctx = CompileContext::new();
         let blocks = SynthesisPass.run(&ring_circuit(6), &mut ctx);
-        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &pool(), &mut ctx);
         let routed = RoutePass::new(true).run(&staged, &arch, &mut ctx).unwrap();
-        let instructions = MovePass::new(true).run(&routed, &arch, &mut ctx);
+        let instructions = MovePass::new(true).run(&routed, &arch, &pool(), &mut ctx);
         let rydberg = instructions
             .iter()
             .filter(|i| matches!(i, Instruction::RydbergStage { .. }))
@@ -699,13 +804,103 @@ mod tests {
     }
 
     #[test]
+    fn merge_folds_timings_and_counters_by_name() {
+        let mut main = CompileContext::new();
+        main.count("stages", 2);
+        main.time("stage", |_| ());
+
+        let mut worker_a = CompileContext::scratch();
+        worker_a.count("stages", 3);
+        worker_a.time("stage", |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        let mut worker_b = CompileContext::scratch();
+        worker_b.count("coll_moves", 7);
+        worker_b.time("moves", |_| ());
+
+        main.merge(worker_a);
+        main.merge(worker_b);
+
+        let metadata = main.finish("x", false, 0);
+        assert_eq!(metadata.counter("stages"), Some(5));
+        assert_eq!(metadata.counter("coll_moves"), Some(7));
+        assert!(metadata.pass_seconds("stage").unwrap() >= 0.001);
+        assert!(metadata.pass_seconds("moves").is_some());
+        // Merge keeps first-encountered order: "stage" from the main
+        // context, then "moves" from worker B.
+        assert_eq!(metadata.pass_timings[0].pass, "stage");
+        assert_eq!(metadata.pass_timings[1].pass, "moves");
+    }
+
+    #[test]
+    fn scratch_context_has_no_end_to_end_clock() {
+        let ctx = CompileContext::scratch();
+        let metadata = ctx.finish("x", false, 0);
+        assert!(metadata.compile_time.is_none());
+    }
+
+    #[test]
+    fn stage_pass_output_is_identical_across_worker_counts() {
+        let blocks = BlockProgram::from_circuit(&ring_circuit(12));
+        let mut ctx1 = CompileContext::new();
+        let mut ctx8 = CompileContext::new();
+        let sequential =
+            StagePass::new(0.5).run(&blocks, &ThreadPool::new(Parallelism::fixed(1)), &mut ctx1);
+        let parallel =
+            StagePass::new(0.5).run(&blocks, &ThreadPool::new(Parallelism::fixed(8)), &mut ctx8);
+        assert_eq!(sequential, parallel);
+        // The merged counters match too — only timings may differ.
+        assert_eq!(
+            ctx1.counters()
+                .iter()
+                .find(|c| c.name == "stages")
+                .map(|c| c.value),
+            ctx8.counters()
+                .iter()
+                .find(|c| c.name == "stages")
+                .map(|c| c.value)
+        );
+    }
+
+    #[test]
+    fn move_pass_output_is_identical_across_worker_counts() {
+        let arch = Architecture::for_qubits(12);
+        let mut ctx = CompileContext::new();
+        let blocks = SynthesisPass.run(&ring_circuit(12), &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &pool(), &mut ctx);
+        let routed = RoutePass::new(true).run(&staged, &arch, &mut ctx).unwrap();
+        let sequential = MovePass::new(true).run(
+            &routed,
+            &arch,
+            &ThreadPool::new(Parallelism::fixed(1)),
+            &mut CompileContext::new(),
+        );
+        let parallel = MovePass::new(true).run(
+            &routed,
+            &arch,
+            &ThreadPool::new(Parallelism::fixed(8)),
+            &mut CompileContext::new(),
+        );
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn parallel_passes_still_record_their_timing_for_empty_programs() {
+        let mut ctx = CompileContext::new();
+        let blocks = BlockProgram::from_circuit(&Circuit::new(3));
+        let staged = StagePass::new(0.5).run(&blocks, &pool(), &mut ctx);
+        assert_eq!(staged.num_stages(), 0);
+        assert!(ctx.timings().iter().any(|t| t.pass == StagePass::NAME));
+    }
+
+    #[test]
     fn staged_program_reports_stage_totals() {
         let mut ctx = CompileContext::new();
         let mut circuit = Circuit::new(3);
         circuit.cz(q(0), q(1)).unwrap();
         circuit.cz(q(1), q(2)).unwrap();
         let blocks = SynthesisPass.run(&circuit, &mut ctx);
-        let staged = StagePass::new(0.5).run(&blocks, &mut ctx);
+        let staged = StagePass::new(0.5).run(&blocks, &pool(), &mut ctx);
         assert_eq!(staged.num_qubits(), 3);
         assert_eq!(staged.num_stages(), 2);
     }

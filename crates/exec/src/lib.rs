@@ -1,0 +1,37 @@
+//! `powermove-exec`: the parallel execution engine of the PowerMove
+//! reproduction.
+//!
+//! The build environment has no crates.io access, so — like the `stubs/`
+//! crates — this is a small, hand-rolled, dependency-free implementation on
+//! top of [`std::thread`]: a work-stealing scoped thread pool
+//! ([`ThreadPool::scope`]), an order-preserving [`ThreadPool::par_map`], and
+//! a [`Parallelism`] configuration honouring the `POWERMOVE_THREADS`
+//! environment variable (default: one worker per available core).
+//!
+//! Two layers of the workspace run on it:
+//!
+//! * the compile pipeline (`powermove`): [`StagePass`] and [`MovePass`]
+//!   process independent CZ blocks / routed segments concurrently while
+//!   per-worker pass timings and counters are merged back into the program's
+//!   `CompileMetadata`;
+//! * the experiment harness (`powermove-bench`): the backend × suite matrix
+//!   behind every table/figure binary and the `bench-gate` CI gate fans out
+//!   over the pool.
+//!
+//! Determinism is part of the contract: [`ThreadPool::par_map`] returns
+//! results in input order, and a [`Parallelism`] of one degenerates to the
+//! plain sequential loop, so `POWERMOVE_THREADS=1` and `POWERMOVE_THREADS=N`
+//! produce byte-identical compiler output (asserted by the workspace test
+//! `tests/parallel_determinism.rs`).
+//!
+//! [`StagePass`]: https://docs.rs/powermove
+//! [`MovePass`]: https://docs.rs/powermove
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+mod parallelism;
+mod pool;
+
+pub use parallelism::{Parallelism, THREADS_ENV};
+pub use pool::{PoolScope, ThreadPool};

@@ -9,6 +9,7 @@ pub use enola_baseline as enola;
 pub use powermove;
 pub use powermove_benchmarks as benchmarks;
 pub use powermove_circuit as circuit;
+pub use powermove_exec as exec;
 pub use powermove_fidelity as fidelity;
 pub use powermove_hardware as hardware;
 pub use powermove_schedule as schedule;
