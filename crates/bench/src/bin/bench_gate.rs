@@ -1,156 +1,87 @@
-//! The benchmark-regression gate: runs the full backend × suite matrix in
-//! parallel and compares fidelity, execution-time, compile-time and
-//! schedule-shape metrics against the checked-in `bench/baseline.json`,
-//! exiting non-zero on any regression or coverage drift. CI runs this on
-//! every push.
+//! The benchmark-regression gate: runs the sharded backend × suite matrix
+//! with repeat-run wall-clock sampling, streams every completed cell to a
+//! JSONL report, and compares the results against the checked-in
+//! `bench/baseline.json` (schema v2), exiting non-zero on any regression or
+//! coverage drift. CI runs one matrix job per shard plus a final
+//! merge-and-gate job.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p powermove-bench --bin bench-gate -- \
-//!     [--baseline <path>] [--json <path>] [--update] [--filter <substr>] \
-//!     [--fidelity-tol <rel>] [--exec-tol <rel>] \
-//!     [--compile-tol <rel>] [--compile-floor <seconds>]
+//! bench-gate [--shard <name>] [--repeats <n>] [--jsonl <path>]
+//!            [--baseline <path>] [--json <path>] [--update]
+//!            [--filter <substr>] [--list-shards]
+//!            [--fidelity-tol <rel>] [--exec-tol <rel>]
+//!            [--compile-tol <rel>] [--compile-floor <seconds>]
+//!
+//! bench-gate merge <shard.jsonl>... [--baseline <path>] [--json <path>]
+//!            [tolerance flags]
 //! ```
 //!
-//! * `--baseline` — baseline file (default `bench/baseline.json`);
-//! * `--json` — additionally record the raw `RunResult`s of this run;
-//! * `--update` — rewrite the baseline from this run instead of gating
-//!   (use after intentional performance/fidelity changes, and commit the
-//!   refreshed file);
-//! * `--filter` — restrict the suite to benchmarks whose name contains the
-//!   substring (missing-entry checks are restricted to the same subset);
-//! * tolerance flags — override the [`GateTolerance`] defaults.
+//! Gate mode:
+//!
+//! * `--shard` — run and gate only the named shard (see `--list-shards`);
+//!   coverage-drift checks are scoped to that shard's cells;
+//! * `--repeats` — compile-time samples per cell (default 3; exact metrics
+//!   are single-run);
+//! * `--jsonl` — stream one JSON line per completed cell; a crashed run
+//!   still leaves a parseable partial report;
+//! * `--json` — additionally record the full `RunResult` report at the end;
+//! * `--update` — refresh the baseline from this run instead of gating:
+//!   only the selected shard's cells are replaced, entries of other shards
+//!   are never dropped (commit the refreshed file);
+//! * `--filter` — restrict to benchmarks whose name contains the substring;
+//! * tolerance flags — override the `GateTolerance` defaults.
+//!
+//! Merge mode reassembles per-shard JSONL part-files into the full-matrix
+//! report (`--json` output is byte-identical to a monolithic run's) and
+//! renders the verdict table against the **whole** baseline, so a shard
+//! that crashed — leaving a partial part-file — surfaces as missing cells.
 //!
 //! Exit codes: `0` pass (improvements allowed), `1` regression or missing
 //! entry, `2` usage/baseline errors.
 
-use powermove_bench::gate::{compare, Baseline, GateTolerance, Verdict};
+use powermove_bench::gate::{compare, Baseline, GateReport, GateTolerance, Verdict};
 use powermove_bench::{
-    run_matrix, take_json_path, write_json, BackendRegistry, BaselineEntry, DEFAULT_SEED,
+    merge_cells, read_cells, run_shard, take_f64_flag, take_flag, take_json_path, take_switch,
+    take_usize_flag, write_json, BackendRegistry, BaselineEntry, ParsedCell, ReportWriter,
+    RunResult, ShardRegistry, SuiteShard, DEFAULT_REPEATS, DEFAULT_SEED,
 };
-use powermove_benchmarks::table2_suite;
+use serde::Value;
 use std::path::PathBuf;
 
-/// Extracts `--flag <value>` from the argument list, returning the value.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
-    let index = args.iter().position(|a| a == flag)?;
-    if index + 1 >= args.len() {
-        eprintln!("{flag} requires an argument");
-        std::process::exit(2);
-    }
-    let value = args.remove(index + 1);
-    args.remove(index);
-    Some(value)
-}
-
-/// Extracts a bare `--flag`, returning whether it was present.
-fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
-    if let Some(index) = args.iter().position(|a| a == flag) {
-        args.remove(index);
-        true
-    } else {
-        false
-    }
-}
-
-fn parse_f64_flag(args: &mut Vec<String>, flag: &str) -> Option<f64> {
-    take_flag(args, flag).map(|value| {
-        value.parse().unwrap_or_else(|_| {
-            eprintln!("{flag} expects a number, got {value:?}");
-            std::process::exit(2);
-        })
-    })
-}
-
-fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = take_json_path(&mut args);
-    let baseline_path = take_flag(&mut args, "--baseline")
-        .map_or_else(|| PathBuf::from("bench/baseline.json"), PathBuf::from);
-    let update = take_switch(&mut args, "--update");
-    let filter = take_flag(&mut args, "--filter").unwrap_or_default();
-
+/// Extracts the shared tolerance flags.
+fn take_tolerance(args: &mut Vec<String>) -> GateTolerance {
     let mut tolerance = GateTolerance::default();
-    if let Some(v) = parse_f64_flag(&mut args, "--fidelity-tol") {
+    if let Some(v) = take_f64_flag(args, "--fidelity-tol") {
         tolerance.fidelity = v;
     }
-    if let Some(v) = parse_f64_flag(&mut args, "--exec-tol") {
+    if let Some(v) = take_f64_flag(args, "--exec-tol") {
         tolerance.exec_time = v;
     }
-    if let Some(v) = parse_f64_flag(&mut args, "--compile-tol") {
+    if let Some(v) = take_f64_flag(args, "--compile-tol") {
         tolerance.compile_time = v;
     }
-    if let Some(v) = parse_f64_flag(&mut args, "--compile-floor") {
+    if let Some(v) = take_f64_flag(args, "--compile-floor") {
         tolerance.compile_time_floor_s = v;
     }
-    if !args.is_empty() {
-        eprintln!("unrecognized arguments: {args:?}");
-        std::process::exit(2);
-    }
+    tolerance
+}
 
-    // The full Table 2 suite under every registered backend, fanned out over
-    // the POWERMOVE_THREADS pool.
-    let suite: Vec<_> = table2_suite(DEFAULT_SEED)
-        .into_iter()
-        .filter(|i| filter.is_empty() || i.name.contains(&filter))
-        .collect();
-    if suite.is_empty() {
-        // A vacuous gate (0 checks) must not report PASS: a typo'd filter
-        // would otherwise silently disable the gate.
-        eprintln!("bench-gate: --filter {filter:?} matches no benchmark instance");
-        std::process::exit(2);
-    }
-    let registry = BackendRegistry::standard();
-    println!(
-        "bench-gate: {} instances x {} backends",
-        suite.len(),
-        registry.len()
-    );
-    let started = std::time::Instant::now();
-    let results = run_matrix(&suite, 1, &registry);
-    println!(
-        "bench-gate: matrix finished in {:.1}s",
-        started.elapsed().as_secs_f64()
-    );
-    if let Some(path) = json_path {
-        write_json(&path, &results);
-    }
-    let current: Vec<BaselineEntry> = results.iter().map(BaselineEntry::from).collect();
-
-    if update {
-        let baseline = Baseline::from_results(&results);
-        write_json(&baseline_path, &baseline);
-        println!(
-            "bench-gate: baseline refreshed with {} entries — review and commit it",
-            baseline.entries.len()
-        );
-        return;
-    }
-
-    let baseline = match Baseline::load(&baseline_path) {
+fn load_baseline_or_exit(path: &std::path::Path) -> Baseline {
+    match Baseline::load(path) {
         Ok(baseline) => baseline,
         Err(e) => {
             eprintln!("bench-gate: {e}");
             eprintln!("bench-gate: run with --update to record a fresh baseline");
             std::process::exit(2);
         }
-    };
-    // When gating a filtered subset, only hold that subset accountable for
-    // baseline coverage.
-    let scoped = if filter.is_empty() {
-        baseline
-    } else {
-        Baseline {
-            entries: baseline
-                .entries
-                .into_iter()
-                .filter(|e| e.benchmark.contains(&filter))
-                .collect(),
-        }
-    };
+    }
+}
 
-    let report = compare(&scoped, &current, &tolerance);
+/// Prints the verdict table and summary line; returns whether the gate
+/// passed.
+fn render_report(report: &GateReport) -> bool {
     for check in &report.checks {
         match check.verdict {
             Verdict::Pass => {}
@@ -170,7 +101,6 @@ fn main() {
     for (compiler, benchmark) in &report.missing_in_baseline {
         println!("UNGATED    {compiler:<22} {benchmark:<18} (in this run, not in baseline)");
     }
-
     let regressions = report.regressions().count();
     let improvements = report.improvements().count();
     println!(
@@ -187,8 +117,208 @@ fn main() {
         } else {
             println!("bench-gate: PASS");
         }
+        true
     } else {
         println!("bench-gate: FAIL");
+        false
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("merge") {
+        args.remove(0);
+        merge_main(args);
+    } else {
+        gate_main(args);
+    }
+}
+
+fn gate_main(mut args: Vec<String>) {
+    let json_path = take_json_path(&mut args);
+    let jsonl_path = take_flag(&mut args, "--jsonl").map(PathBuf::from);
+    let baseline_path = take_flag(&mut args, "--baseline")
+        .map_or_else(|| PathBuf::from("bench/baseline.json"), PathBuf::from);
+    let update = take_switch(&mut args, "--update");
+    let list_shards = take_switch(&mut args, "--list-shards");
+    let shard_name = take_flag(&mut args, "--shard");
+    let repeats = take_usize_flag(&mut args, "--repeats").unwrap_or(DEFAULT_REPEATS);
+    let filter = take_flag(&mut args, "--filter").unwrap_or_default();
+    let tolerance = take_tolerance(&mut args);
+    if !args.is_empty() {
+        eprintln!("unrecognized arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    let shards = ShardRegistry::standard(DEFAULT_SEED);
+    if list_shards {
+        println!("{:<16} {:>7}  backends", "shard", "cells");
+        for shard in shards.iter() {
+            println!(
+                "{:<16} {:>7}  {}",
+                shard.name(),
+                shard.cells().len() * shard.backends().len(),
+                shard.backends().join(",")
+            );
+        }
+        return;
+    }
+
+    let selected: Vec<SuiteShard> = match &shard_name {
+        None => shards.iter().map(|s| s.filtered(&filter)).collect(),
+        Some(name) => match shards.get(name) {
+            Some(shard) => vec![shard.filtered(&filter)],
+            None => {
+                eprintln!(
+                    "bench-gate: unknown shard {name:?}; available: {}",
+                    shards.names().join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    let total_cells: usize = selected
+        .iter()
+        .map(|s| s.cells().len() * s.backends().len())
+        .sum();
+    if total_cells == 0 {
+        // A vacuous gate (0 checks) must not report PASS: a typo'd filter
+        // would otherwise silently disable the gate.
+        eprintln!("bench-gate: --filter {filter:?} matches no benchmark instance");
+        std::process::exit(2);
+    }
+
+    let registry = BackendRegistry::standard();
+    let writer = jsonl_path.as_deref().map(ReportWriter::create);
+    println!(
+        "bench-gate: {} shard(s), {} cells, {} compile-time sample(s) per cell",
+        selected.len(),
+        total_cells,
+        repeats.max(1)
+    );
+    let started = std::time::Instant::now();
+    let mut runs: Vec<(String, Vec<RunResult>)> = Vec::new();
+    for shard in &selected {
+        let shard_started = std::time::Instant::now();
+        let results = run_shard(shard, &registry, repeats, |index, result| {
+            if let Some(writer) = &writer {
+                writer.append(shard.name(), index, result);
+            }
+        });
+        println!(
+            "bench-gate: shard {} finished in {:.1}s ({} cells)",
+            shard.name(),
+            shard_started.elapsed().as_secs_f64(),
+            results.len()
+        );
+        runs.push((shard.name().to_string(), results));
+    }
+    println!(
+        "bench-gate: matrix finished in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+    if let Some(path) = json_path {
+        let all_results: Vec<&RunResult> = runs.iter().flat_map(|(_, r)| r.iter()).collect();
+        write_json(&path, &all_results);
+    }
+
+    let fresh = Baseline::from_shard_runs(&runs);
+    if update {
+        let previous = if baseline_path.exists() {
+            load_baseline_or_exit(&baseline_path)
+        } else {
+            Baseline::default()
+        };
+        // Stale-cell pruning is membership-based and therefore skipped for
+        // --filter runs: a filtered update must only touch the cells it
+        // actually re-ran.
+        let prune: Vec<String> = if filter.is_empty() {
+            selected.iter().map(|s| s.name().to_string()).collect()
+        } else {
+            Vec::new()
+        };
+        let updated = previous.merged_update(fresh.entries, &prune, &shards);
+        write_json(&baseline_path, &updated);
+        println!(
+            "bench-gate: baseline refreshed with {} entries ({} shard(s) re-run) — review and commit it",
+            updated.entries.len(),
+            selected.len()
+        );
+        return;
+    }
+
+    let baseline = load_baseline_or_exit(&baseline_path);
+    // A full, unfiltered run holds the entire baseline accountable (stale
+    // entries fail as missing); a shard or filter run only gates its slice.
+    let scoped = if shard_name.is_none() && filter.is_empty() {
+        baseline
+    } else {
+        let cells: Vec<(String, String)> = selected.iter().flat_map(SuiteShard::cell_ids).collect();
+        baseline.scoped(&cells)
+    };
+    let report = compare(&scoped, &fresh.entries, &tolerance);
+    if !render_report(&report) {
+        std::process::exit(1);
+    }
+}
+
+fn merge_main(mut args: Vec<String>) {
+    let json_path = take_json_path(&mut args);
+    let baseline_path = take_flag(&mut args, "--baseline")
+        .map_or_else(|| PathBuf::from("bench/baseline.json"), PathBuf::from);
+    let tolerance = take_tolerance(&mut args);
+    if args.is_empty() {
+        eprintln!("bench-gate merge: no part-files given");
+        eprintln!("usage: bench-gate merge <shard.jsonl>... [--baseline <path>] [--json <path>]");
+        std::process::exit(2);
+    }
+
+    let shards = ShardRegistry::standard(DEFAULT_SEED);
+    let mut files: Vec<Vec<ParsedCell>> = Vec::new();
+    for path in &args {
+        match read_cells(&PathBuf::from(path)) {
+            Ok(cells) => {
+                println!("bench-gate merge: {path}: {} cells", cells.len());
+                files.push(cells);
+            }
+            Err(e) => {
+                eprintln!("bench-gate merge: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cells = match merge_cells(files, &shards) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("bench-gate merge: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "bench-gate merge: {} cells reassembled from {} part-file(s)",
+        cells.len(),
+        args.len()
+    );
+    if let Some(path) = json_path {
+        // Re-render the parsed result trees verbatim: the merged report is
+        // byte-identical to the one a monolithic `bench-gate --json` writes.
+        let results: Vec<&Value> = cells.iter().map(|c| &c.result).collect();
+        write_json(&path, &results);
+    }
+
+    let current = cells
+        .iter()
+        .map(|c| BaselineEntry::from_result_value(&c.result, &c.shard))
+        .collect::<Result<Vec<_>, _>>()
+        .unwrap_or_else(|e| {
+            eprintln!("bench-gate merge: {e}");
+            std::process::exit(2);
+        });
+    let baseline = load_baseline_or_exit(&baseline_path);
+    // The merged matrix answers for the whole baseline: a shard that
+    // crashed (partial part-file) or never uploaded surfaces as MISSING.
+    let report = compare(&baseline, &current, &tolerance);
+    if !render_report(&report) {
         std::process::exit(1);
     }
 }

@@ -6,15 +6,18 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p powermove-bench --bin diagnostics [family] [qubits] [--json <path>]
+//! cargo run --release -p powermove-bench --bin diagnostics \
+//!     [family] [qubits] [--repeats <n>] [--json <path>]
 //! ```
 //!
 //! `family` is matched against the Table 2 family names (default
-//! `QAOA-regular3`), `qubits` defaults to 50.
+//! `QAOA-regular3`), `qubits` defaults to 50. `--repeats` samples each
+//! backend's compile wall clock over repeat runs (default 1) and prints the
+//! median with its confidence interval.
 
 use powermove_bench::{
-    score_program, take_json_path, write_json, BackendRegistry, RegisteredBackend, RunResult,
-    DEFAULT_SEED,
+    score_program_sampled, take_json_path, take_usize_flag, write_json, BackendRegistry,
+    RegisteredBackend, RunResult, SampleStats, DEFAULT_SEED,
 };
 use powermove_benchmarks::{generate, BenchmarkFamily};
 use powermove_exec::ThreadPool;
@@ -78,34 +81,59 @@ fn describe(name: &str, program: &CompiledProgram) {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = take_json_path(&mut args);
+    let repeats: usize = take_usize_flag(&mut args, "--repeats").unwrap_or(1).max(1);
     let family = pick_family(args.first().map(String::as_str).unwrap_or_default());
     let qubits: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
     let instance = generate(family, qubits, DEFAULT_SEED);
     let arch = Architecture::for_qubits(instance.num_qubits);
     println!("benchmark: {}", instance.name);
 
-    // Compile under every backend concurrently, then print and score in
-    // registration order.
+    // Compile under every backend concurrently (sampling the wall clock
+    // over repeat runs), then print and score in registration order.
     let registry = BackendRegistry::standard();
     let entries: Vec<&RegisteredBackend> = registry.iter().collect();
     let programs = ThreadPool::from_env().par_map(entries, |entry| {
-        let start = std::time::Instant::now();
-        let program = entry
-            .backend()
-            .compile_circuit(&instance.circuit, &arch)
-            .unwrap_or_else(|e| panic!("{} compiles: {e}", entry.id()));
+        let mut samples = Vec::with_capacity(repeats);
+        let mut first_program = None;
+        for _ in 0..repeats {
+            let start = std::time::Instant::now();
+            let program = entry
+                .backend()
+                .compile_circuit(&instance.circuit, &arch)
+                .unwrap_or_else(|e| panic!("{} compiles: {e}", entry.id()));
+            let measured = start.elapsed().as_secs_f64();
+            samples.push(program.metadata().compile_time.unwrap_or(measured));
+            first_program.get_or_insert(program);
+        }
         (
             entry.id().to_string(),
-            program,
-            start.elapsed().as_secs_f64(),
+            first_program.expect("at least one compile ran"),
+            samples,
         )
     });
 
     let mut results: Vec<RunResult> = Vec::new();
-    for (id, program, measured_s) in &programs {
+    for (id, program, samples) in &programs {
         describe(id, program);
+        if samples.len() > 1 {
+            let stats = SampleStats::from_samples(samples.clone());
+            let (ci_low, ci_high) = stats.ci();
+            println!(
+                "{:<26} compile median={:.1}ms ci=[{:.1}ms, {:.1}ms] over {} runs",
+                "",
+                stats.median() * 1e3,
+                ci_low * 1e3,
+                ci_high * 1e3,
+                stats.len()
+            );
+        }
         if json_path.is_some() {
-            results.push(score_program(id, &instance, program, *measured_s));
+            results.push(score_program_sampled(
+                id,
+                &instance,
+                program,
+                samples.clone(),
+            ));
         }
     }
     if let Some(path) = json_path {

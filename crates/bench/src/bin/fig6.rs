@@ -9,20 +9,9 @@
 //! ```
 
 use powermove_bench::{
-    run_matrix, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
+    fig6_sweeps, run_matrix, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
 };
-use powermove_benchmarks::{generate, BenchmarkFamily, BenchmarkInstance};
-
-/// The qubit sweeps of Fig. 6(a)-(e).
-fn sweeps() -> Vec<(BenchmarkFamily, Vec<u32>)> {
-    vec![
-        (BenchmarkFamily::QaoaRegular3, vec![20, 40, 60, 80, 100]),
-        (BenchmarkFamily::QsimRand, vec![10, 20, 40, 60, 80]),
-        (BenchmarkFamily::Qft, vec![20, 30, 40, 50, 60]),
-        (BenchmarkFamily::Vqe, vec![10, 20, 30, 40, 50]),
-        (BenchmarkFamily::Bv, vec![20, 30, 40, 50, 60, 70]),
-    ]
-}
+use powermove_benchmarks::{generate, BenchmarkInstance};
 
 fn print_row(result: &RunResult) {
     println!(
@@ -46,9 +35,12 @@ fn main() {
     // Generate every instance of the selected sweeps up front, run the whole
     // instance × backend matrix on the POWERMOVE_THREADS pool, then print in
     // sweep order (run_matrix returns instance-major, deterministic order).
+    // The sweep definition is shared with the `fig6/sweep` gate shard
+    // (`powermove_bench::fig6_sweeps`), so the figure and the CI gate can
+    // never drift apart.
     let mut groups: Vec<(String, usize)> = Vec::new(); // (family name, #instances)
     let mut instances: Vec<BenchmarkInstance> = Vec::new();
-    for (family, sizes) in sweeps() {
+    for (family, sizes) in fig6_sweeps() {
         let name = family.to_string();
         if !filter.is_empty() && !name.contains(&filter) {
             continue;

@@ -9,10 +9,10 @@
 //! ```
 
 use powermove_bench::{
-    run_instance, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
+    fig7_cases, run_instance, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
     POWERMOVE_STORAGE,
 };
-use powermove_benchmarks::{generate, BenchmarkFamily};
+use powermove_benchmarks::generate;
 use powermove_exec::ThreadPool;
 use serde::Serialize;
 
@@ -30,13 +30,10 @@ fn main() {
     let storage = registry
         .entry(POWERMOVE_STORAGE)
         .expect("standard backend registered");
-    let cases = [
-        (BenchmarkFamily::QaoaRegular3, 100_u32),
-        (BenchmarkFamily::QsimRand, 20),
-        (BenchmarkFamily::Qft, 18),
-        (BenchmarkFamily::Vqe, 50),
-        (BenchmarkFamily::Bv, 70),
-    ];
+    // The case list is shared with the `fig7/multi-aod` gate shard
+    // (`powermove_bench::fig7_cases`), so the figure and the CI gate can
+    // never drift apart.
+    let cases = fig7_cases();
     println!(
         "{:<20} {:>6} {:>14} {:>12} {:>12}",
         "Benchmark", "#AODs", "Texe (us)", "Fidelity", "Stages"

@@ -13,6 +13,12 @@ use powermove_hardware::PhysicalParams;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = take_json_path(&mut args);
+    if !args.is_empty() {
+        // Table 1 takes no positional arguments; a typo'd flag silently
+        // ignored would be mistaken for having taken effect.
+        eprintln!("unrecognized arguments: {args:?}");
+        std::process::exit(2);
+    }
     let p = PhysicalParams::default();
     println!("Table 1: NAQC operation parameters");
     println!("{:<28} {:>12} {:>16}", "Operation", "Fidelity", "Duration");

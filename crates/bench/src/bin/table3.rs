@@ -5,19 +5,24 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p powermove-bench --bin table3 [name-filter] [--json <path>]
+//! cargo run --release -p powermove-bench --bin table3 \
+//!     [name-filter] [--repeats <n>] [--json <path>]
 //! ```
 //!
 //! An optional substring filter restricts the run to matching benchmark
-//! names (e.g. `QAOA-regular3` or `BV-70`); `--json` additionally writes the
-//! rows as a JSON report.
+//! names (e.g. `QAOA-regular3` or `BV-70`); `--repeats` samples each cell's
+//! compile wall clock over repeat runs and reports the median (default 1),
+//! and `--json` additionally writes the rows as a JSON report.
 
-use powermove_bench::{table3_rows, take_json_path, write_json, Table3Row, DEFAULT_SEED};
+use powermove_bench::{
+    table3_rows_sampled, take_json_path, take_usize_flag, write_json, Table3Row, DEFAULT_SEED,
+};
 use powermove_benchmarks::table2_suite;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = take_json_path(&mut args);
+    let repeats = take_usize_flag(&mut args, "--repeats").unwrap_or(1);
     let filter = args.first().cloned().unwrap_or_default();
     let suite = table2_suite(DEFAULT_SEED);
 
@@ -42,7 +47,7 @@ fn main() {
         .into_iter()
         .filter(|i| filter.is_empty() || i.name.contains(&filter))
         .collect();
-    let rows: Vec<Table3Row> = table3_rows(&selected);
+    let rows: Vec<Table3Row> = table3_rows_sampled(&selected, repeats);
     for row in &rows {
         let our_tcomp = 0.5 * (row.non_storage.compile_time_s + row.with_storage.compile_time_s);
         println!(

@@ -23,9 +23,10 @@
 //! numbers, run with `POWERMOVE_THREADS=1`; the `bench-gate` tolerances
 //! absorb the contention noise instead (generous slack + absolute floor).
 
+use crate::stats::SampleStats;
 use enola_baseline::{EnolaCompiler, EnolaConfig};
 use powermove::{CompilerBackend, CompilerConfig, PowerMoveCompiler};
-use powermove_benchmarks::BenchmarkInstance;
+use powermove_benchmarks::{generate, table2_suite, BenchmarkFamily, BenchmarkInstance};
 use powermove_exec::ThreadPool;
 use powermove_fidelity::{evaluate_program, FidelityBreakdown};
 use powermove_hardware::Architecture;
@@ -115,18 +116,25 @@ impl BackendRegistry {
     /// The three evaluation configurations of the paper, in Table 3 column
     /// order: [`ENOLA`], [`POWERMOVE_NON_STORAGE`], [`POWERMOVE_STORAGE`].
     ///
-    /// The PowerMove backends pin their pipeline to one worker
-    /// (`with_threads(1)`): the harness matrix is already fanned out over
+    /// Every backend pins its compile-side fan-out to one worker
+    /// (`with_threads(1)` — PowerMove's pass pipeline and Enola's MIS stage
+    /// extraction alike): the harness matrix is already fanned out over
     /// the `POWERMOVE_THREADS` pool, and nesting an N-worker pipeline pool
     /// inside each of N matrix workers would oversubscribe the machine
-    /// quadratically. Compiled programs are byte-identical either way; for
+    /// quadratically. Single-threaded compiles also keep the sampled
+    /// compile wall clocks comparable across machines with different core
+    /// counts. Compiled programs are byte-identical either way; for
     /// single-instance workloads that want pipeline-level parallelism,
     /// register a backend configured with
-    /// [`CompilerConfig::with_threads`](powermove::CompilerConfig::with_threads).
+    /// [`CompilerConfig::with_threads`](powermove::CompilerConfig::with_threads)
+    /// or [`EnolaConfig::with_threads`](enola_baseline::EnolaConfig::with_threads).
     #[must_use]
     pub fn standard() -> Self {
         let mut registry = BackendRegistry::new();
-        registry.register(ENOLA, Box::new(EnolaCompiler::new(EnolaConfig::default())));
+        registry.register(
+            ENOLA,
+            Box::new(EnolaCompiler::new(EnolaConfig::default().with_threads(1))),
+        );
         registry.register(
             POWERMOVE_NON_STORAGE,
             Box::new(PowerMoveCompiler::new(
@@ -227,9 +235,14 @@ pub struct RunResult {
     pub breakdown: FidelityBreakdown,
     /// Execution time in microseconds.
     pub execution_time_us: f64,
-    /// Compilation wall-clock time in seconds.
+    /// Compilation wall-clock time in seconds: the **median** of
+    /// [`RunResult::compile_time_samples`].
     pub compile_time_s: f64,
-    /// Per-pass compilation timings reported by the backend.
+    /// Every sampled compilation wall clock (one per repeat run; a single
+    /// entry when the cell ran once). Deterministic metrics are taken from
+    /// the first run — re-compiling cannot change them.
+    pub compile_time_samples: Vec<f64>,
+    /// Per-pass compilation timings reported by the backend (first run).
     pub pass_timings: Vec<PassTiming>,
     /// Number of Rydberg stages.
     pub stages: usize,
@@ -254,20 +267,53 @@ pub fn run_instance(
     num_aods: usize,
     entry: &RegisteredBackend,
 ) -> RunResult {
+    run_instance_sampled(instance, num_aods, entry, 1)
+}
+
+/// Like [`run_instance`], but compiles the instance `repeats` times (at
+/// least once) and records every compilation wall clock in
+/// [`RunResult::compile_time_samples`], with [`RunResult::compile_time_s`]
+/// set to their median. Deterministic metrics (fidelity, execution time,
+/// schedule shape) come from the first run: re-compiling cannot change them,
+/// so only the wall clock is worth sampling.
+///
+/// # Panics
+///
+/// Panics if compilation or validation fails (see [`run_instance`]).
+#[must_use]
+pub fn run_instance_sampled(
+    instance: &BenchmarkInstance,
+    num_aods: usize,
+    entry: &RegisteredBackend,
+    repeats: usize,
+) -> RunResult {
     let arch = Architecture::for_qubits(instance.num_qubits).with_num_aods(num_aods);
-    let start = std::time::Instant::now();
-    let program = entry
-        .backend()
-        .compile_circuit(&instance.circuit, &arch)
-        .unwrap_or_else(|e| {
-            panic!(
-                "{} compilation failed on {}: {e}",
-                entry.id(),
-                instance.name
-            )
-        });
-    let measured_compile_time_s = start.elapsed().as_secs_f64();
-    score_program(entry.id(), instance, &program, measured_compile_time_s)
+    let mut samples = Vec::with_capacity(repeats.max(1));
+    let mut first_program = None;
+    for _ in 0..repeats.max(1) {
+        let start = std::time::Instant::now();
+        let program = entry
+            .backend()
+            .compile_circuit(&instance.circuit, &arch)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{} compilation failed on {}: {e}",
+                    entry.id(),
+                    instance.name
+                )
+            });
+        let measured = start.elapsed().as_secs_f64();
+        // Prefer the backend's own compile clock (it excludes harness
+        // overhead); fall back to the measured wall clock.
+        samples.push(program.metadata().compile_time.unwrap_or(measured));
+        first_program.get_or_insert(program);
+    }
+    score_program_sampled(
+        entry.id(),
+        instance,
+        &first_program.expect("at least one compile ran"),
+        samples,
+    )
 }
 
 /// Validates and scores an already-compiled program, labelling the result
@@ -284,8 +330,30 @@ pub fn score_program(
     program: &powermove_schedule::CompiledProgram,
     measured_compile_time_s: f64,
 ) -> RunResult {
+    let resolved = program
+        .metadata()
+        .compile_time
+        .unwrap_or(measured_compile_time_s);
+    score_program_sampled(compiler_id, instance, program, vec![resolved])
+}
+
+/// Validates and scores an already-compiled program against a set of
+/// repeat-run compile-time samples (see [`run_instance_sampled`]).
+///
+/// # Panics
+///
+/// Panics if validation fails (see [`run_instance`]) or if
+/// `compile_time_samples` is empty.
+#[must_use]
+pub fn score_program_sampled(
+    compiler_id: &str,
+    instance: &BenchmarkInstance,
+    program: &powermove_schedule::CompiledProgram,
+    compile_time_samples: Vec<f64>,
+) -> RunResult {
     let metadata = program.metadata().clone();
     let report = evaluate_program(program).expect("compiled program is valid");
+    let compile_time_s = SampleStats::from_samples(compile_time_samples.clone()).median();
     RunResult {
         compiler: compiler_id.to_string(),
         benchmark: instance.name.clone(),
@@ -293,7 +361,8 @@ pub fn score_program(
         fidelity: report.fidelity_excluding_one_qubit(),
         breakdown: report.breakdown,
         execution_time_us: report.execution_time_us(),
-        compile_time_s: metadata.compile_time.unwrap_or(measured_compile_time_s),
+        compile_time_s,
+        compile_time_samples,
         pass_timings: metadata.pass_timings,
         stages: report.trace.rydberg_stage_count,
         transfers: report.trace.transfer_count,
@@ -338,12 +407,346 @@ pub fn run_matrix(
     num_aods: usize,
     registry: &BackendRegistry,
 ) -> Vec<RunResult> {
+    run_matrix_sampled(instances, num_aods, registry, 1)
+}
+
+/// [`run_matrix`] with `repeats` compile-time samples per cell (see
+/// [`run_instance_sampled`]).
+///
+/// # Panics
+///
+/// Panics if compilation or validation fails (see [`run_instance`]).
+#[must_use]
+pub fn run_matrix_sampled(
+    instances: &[BenchmarkInstance],
+    num_aods: usize,
+    registry: &BackendRegistry,
+    repeats: usize,
+) -> Vec<RunResult> {
     let jobs: Vec<(&BenchmarkInstance, &RegisteredBackend)> = instances
         .iter()
         .flat_map(|instance| registry.iter().map(move |entry| (instance, entry)))
         .collect();
     ThreadPool::from_env().par_map(jobs, |(instance, entry)| {
-        run_instance(instance, num_aods, entry)
+        run_instance_sampled(instance, num_aods, entry, repeats)
+    })
+}
+
+/// Threshold splitting the Table 2 suite into the `table2/small` and
+/// `table2/large` shards: instances with at least this many qubits land in
+/// the large shard.
+pub const LARGE_SHARD_QUBITS: u32 = 50;
+
+/// The qubit sweeps of Fig. 6(a)–(e), the single source of truth shared by
+/// the `fig6` binary and the `fig6/sweep` shard.
+#[must_use]
+pub fn fig6_sweeps() -> Vec<(BenchmarkFamily, Vec<u32>)> {
+    vec![
+        (BenchmarkFamily::QaoaRegular3, vec![20, 40, 60, 80, 100]),
+        (BenchmarkFamily::QsimRand, vec![10, 20, 40, 60, 80]),
+        (BenchmarkFamily::Qft, vec![20, 30, 40, 50, 60]),
+        (BenchmarkFamily::Vqe, vec![10, 20, 30, 40, 50]),
+        (BenchmarkFamily::Bv, vec![20, 30, 40, 50, 60, 70]),
+    ]
+}
+
+/// The five benchmark instances of Fig. 7, the single source of truth shared
+/// by the `fig7` binary and the `fig7/multi-aod` shard.
+#[must_use]
+pub fn fig7_cases() -> [(BenchmarkFamily, u32); 5] {
+    [
+        (BenchmarkFamily::QaoaRegular3, 100),
+        (BenchmarkFamily::QsimRand, 20),
+        (BenchmarkFamily::Qft, 18),
+        (BenchmarkFamily::Vqe, 50),
+        (BenchmarkFamily::Bv, 70),
+    ]
+}
+
+/// One cell row of a shard: a benchmark instance plus the AOD-array count it
+/// is compiled for.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardCell {
+    /// The benchmark instance. Multi-AOD cells carry an `@aods<k>` suffix in
+    /// the instance name so every cell keys uniquely in the baseline.
+    pub instance: BenchmarkInstance,
+    /// Number of AOD arrays the cell is compiled for.
+    pub num_aods: usize,
+}
+
+/// A named slice of the benchmark matrix: a set of instance × AOD cells plus
+/// the registry ids of the backends gated on them.
+///
+/// The standard shards ([`ShardRegistry::standard`]) form a disjoint exact
+/// cover of the full gated suite, so running every shard and merging the
+/// per-shard reports reproduces a monolithic run cell for cell.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SuiteShard {
+    name: String,
+    backends: Vec<String>,
+    cells: Vec<ShardCell>,
+}
+
+impl SuiteShard {
+    /// Creates a shard from its parts.
+    #[must_use]
+    pub fn new(name: impl Into<String>, backends: Vec<String>, cells: Vec<ShardCell>) -> Self {
+        SuiteShard {
+            name: name.into(),
+            backends,
+            cells,
+        }
+    }
+
+    /// The shard name, e.g. `"table2/small"`.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registry ids of the backends gated on this shard.
+    #[must_use]
+    pub fn backends(&self) -> &[String] {
+        &self.backends
+    }
+
+    /// The instance × AOD cells of the shard, in matrix order.
+    #[must_use]
+    pub fn cells(&self) -> &[ShardCell] {
+        &self.cells
+    }
+
+    /// The `(compiler, benchmark)` ids of every gated cell, in run order
+    /// (instance-major, then backend order).
+    #[must_use]
+    pub fn cell_ids(&self) -> Vec<(String, String)> {
+        self.cells
+            .iter()
+            .flat_map(|cell| {
+                self.backends
+                    .iter()
+                    .map(move |backend| (backend.clone(), cell.instance.name.clone()))
+            })
+            .collect()
+    }
+
+    /// Whether the shard gates the given `(compiler, benchmark)` cell.
+    #[must_use]
+    pub fn contains_cell(&self, compiler: &str, benchmark: &str) -> bool {
+        self.backends.iter().any(|b| b == compiler)
+            && self.cells.iter().any(|c| c.instance.name == benchmark)
+    }
+
+    /// A copy of the shard restricted to instances whose name contains
+    /// `filter` (an empty filter keeps everything).
+    #[must_use]
+    pub fn filtered(&self, filter: &str) -> SuiteShard {
+        SuiteShard {
+            name: self.name.clone(),
+            backends: self.backends.clone(),
+            cells: self
+                .cells
+                .iter()
+                .filter(|c| filter.is_empty() || c.instance.name.contains(filter))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// The named shards of the benchmark matrix, in canonical (CI fan-out)
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardRegistry {
+    shards: Vec<SuiteShard>,
+}
+
+impl ShardRegistry {
+    /// The standard sharding of the gated suite:
+    ///
+    /// * `table2/small` — Table 2 instances below [`LARGE_SHARD_QUBITS`]
+    ///   qubits, all three standard backends;
+    /// * `table2/large` — the remaining Table 2 instances (the slow half),
+    ///   all three standard backends;
+    /// * `fig6/sweep` — Fig. 6 sweep sizes not already covered by Table 2,
+    ///   all three standard backends;
+    /// * `fig7/multi-aod` — the Fig. 7 instances at 2–4 AOD arrays
+    ///   (`@aods<k>`-suffixed names), with-storage backend only (the
+    ///   configuration the figure evaluates).
+    ///
+    /// Together the shards cover every gated cell exactly once
+    /// (asserted by the workspace test suite).
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        let standard_backends = vec![
+            ENOLA.to_string(),
+            POWERMOVE_NON_STORAGE.to_string(),
+            POWERMOVE_STORAGE.to_string(),
+        ];
+        let single_aod = |instance: BenchmarkInstance| ShardCell {
+            instance,
+            num_aods: 1,
+        };
+
+        let table2 = table2_suite(seed);
+        let table2_names: Vec<&str> = table2.iter().map(|i| i.name.as_str()).collect();
+        let (large, small): (Vec<_>, Vec<_>) = table2
+            .iter()
+            .cloned()
+            .partition(|i| i.num_qubits >= LARGE_SHARD_QUBITS);
+
+        let fig6_cells: Vec<ShardCell> = fig6_sweeps()
+            .into_iter()
+            .flat_map(|(family, sizes)| {
+                sizes
+                    .into_iter()
+                    .map(move |n| generate(family, n, seed))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|i| !table2_names.contains(&i.name.as_str()))
+            .map(single_aod)
+            .collect();
+
+        let fig7_cells: Vec<ShardCell> = fig7_cases()
+            .into_iter()
+            .flat_map(|(family, n)| {
+                (2..=4).map(move |aods| {
+                    let mut instance = generate(family, n, seed);
+                    instance.name = format!("{}@aods{aods}", instance.name);
+                    ShardCell {
+                        instance,
+                        num_aods: aods,
+                    }
+                })
+            })
+            .collect();
+
+        ShardRegistry {
+            shards: vec![
+                SuiteShard::new(
+                    "table2/small",
+                    standard_backends.clone(),
+                    small.into_iter().map(single_aod).collect(),
+                ),
+                SuiteShard::new(
+                    "table2/large",
+                    standard_backends.clone(),
+                    large.into_iter().map(single_aod).collect(),
+                ),
+                SuiteShard::new("fig6/sweep", standard_backends, fig6_cells),
+                SuiteShard::new(
+                    "fig7/multi-aod",
+                    vec![POWERMOVE_STORAGE.to_string()],
+                    fig7_cells,
+                ),
+            ],
+        }
+    }
+
+    /// Creates a registry from an explicit shard list (custom pipelines and
+    /// tests; the CI gate uses [`ShardRegistry::standard`]). Shard order is
+    /// canonical order.
+    #[must_use]
+    pub fn from_shards(shards: Vec<SuiteShard>) -> Self {
+        ShardRegistry { shards }
+    }
+
+    /// Looks up a shard by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&SuiteShard> {
+        self.shards.iter().find(|s| s.name == name)
+    }
+
+    /// Iterates over the shards in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &SuiteShard> {
+        self.shards.iter()
+    }
+
+    /// The shard names, in canonical order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.shards.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the registry holds no shards.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The canonical position of a `(compiler, benchmark)` cell across all
+    /// shards (shard order, then cell order within the shard), or `None` for
+    /// cells no shard gates. Used to keep baseline files and merged reports
+    /// in one deterministic order.
+    #[must_use]
+    pub fn cell_rank(&self, compiler: &str, benchmark: &str) -> Option<usize> {
+        let mut rank = 0;
+        for shard in &self.shards {
+            for (cell_compiler, cell_benchmark) in shard.cell_ids() {
+                if cell_compiler == compiler && cell_benchmark == benchmark {
+                    return Some(rank);
+                }
+                rank += 1;
+            }
+        }
+        None
+    }
+
+    /// The shard gating a `(compiler, benchmark)` cell, if any.
+    #[must_use]
+    pub fn shard_of_cell(&self, compiler: &str, benchmark: &str) -> Option<&SuiteShard> {
+        self.shards
+            .iter()
+            .find(|s| s.contains_cell(compiler, benchmark))
+    }
+}
+
+/// Runs one shard's cell × backend matrix with `repeats` compile-time
+/// samples per cell, fanned out over the `POWERMOVE_THREADS` pool.
+///
+/// `observer` fires once per **completed** cell — from worker threads, as
+/// cells finish, in completion order — with the cell's run-order index; the
+/// returned vector is still in deterministic run order. Streaming report
+/// writers hook in here so a crashed run keeps every finished cell.
+///
+/// # Panics
+///
+/// Panics if a shard backend id is not registered, or if compilation or
+/// validation fails (see [`run_instance`]).
+#[must_use]
+pub fn run_shard<F>(
+    shard: &SuiteShard,
+    registry: &BackendRegistry,
+    repeats: usize,
+    observer: F,
+) -> Vec<RunResult>
+where
+    F: Fn(usize, &RunResult) + Sync,
+{
+    let jobs: Vec<(usize, &ShardCell, &RegisteredBackend)> = shard
+        .cells()
+        .iter()
+        .flat_map(|cell| {
+            shard.backends().iter().map(move |id| {
+                let entry = registry.entry(id).unwrap_or_else(|| {
+                    panic!("shard {} gates unregistered backend {id}", shard.name())
+                });
+                (cell, entry)
+            })
+        })
+        .enumerate()
+        .map(|(index, (cell, entry))| (index, cell, entry))
+        .collect();
+    ThreadPool::from_env().par_map(jobs, |(index, cell, entry)| {
+        let result = run_instance_sampled(&cell.instance, cell.num_aods, entry, repeats);
+        observer(index, &result);
+        result
     })
 }
 
@@ -414,8 +817,19 @@ pub fn table3_row(instance: &BenchmarkInstance) -> Table3Row {
 /// Panics if compilation or validation fails (see [`run_instance`]).
 #[must_use]
 pub fn table3_rows(instances: &[BenchmarkInstance]) -> Vec<Table3Row> {
+    table3_rows_sampled(instances, 1)
+}
+
+/// [`table3_rows`] with `repeats` compile-time samples per cell, for
+/// statistically honest compile-time-improvement columns.
+///
+/// # Panics
+///
+/// Panics if compilation or validation fails (see [`run_instance`]).
+#[must_use]
+pub fn table3_rows_sampled(instances: &[BenchmarkInstance], repeats: usize) -> Vec<Table3Row> {
     let registry = BackendRegistry::standard();
-    let results = run_matrix(instances, 1, &registry);
+    let results = run_matrix_sampled(instances, 1, &registry, repeats);
     results
         .chunks_exact(registry.len())
         .zip(instances)
@@ -443,14 +857,54 @@ pub fn table3_rows(instances: &[BenchmarkInstance]) -> Vec<Table3Row> {
 /// tokens when present. Every experiment binary uses this so results can be
 /// recorded as JSON next to the printed tables.
 pub fn take_json_path(args: &mut Vec<String>) -> Option<PathBuf> {
-    let index = args.iter().position(|a| a == "--json")?;
+    take_flag(args, "--json").map(PathBuf::from)
+}
+
+/// Extracts `--flag <value>` from a CLI argument list, removing both tokens
+/// and returning the value. Exits with code 2 when the value is missing —
+/// the experiment binaries treat malformed invocations as usage errors.
+/// Shared by every binary so flag handling cannot drift between them.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let index = args.iter().position(|a| a == flag)?;
     if index + 1 >= args.len() {
-        eprintln!("--json requires a path argument");
+        eprintln!("{flag} requires an argument");
         std::process::exit(2);
     }
-    let path = PathBuf::from(args.remove(index + 1));
+    let value = args.remove(index + 1);
     args.remove(index);
-    Some(path)
+    Some(value)
+}
+
+/// Extracts a bare `--flag` switch, returning whether it was present.
+pub fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(index) = args.iter().position(|a| a == flag) {
+        args.remove(index);
+        true
+    } else {
+        false
+    }
+}
+
+/// [`take_flag`] parsed as a non-negative integer; exits with code 2 on a
+/// non-numeric value.
+pub fn take_usize_flag(args: &mut Vec<String>, flag: &str) -> Option<usize> {
+    take_flag(args, flag).map(|value| {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} expects a non-negative integer, got {value:?}");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// [`take_flag`] parsed as a float; exits with code 2 on a non-numeric
+/// value.
+pub fn take_f64_flag(args: &mut Vec<String>, flag: &str) -> Option<f64> {
+    take_flag(args, flag).map(|value| {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} expects a number, got {value:?}");
+            std::process::exit(2);
+        })
+    })
 }
 
 /// Serializes `value` as pretty-printed JSON to `path`.

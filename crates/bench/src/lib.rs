@@ -25,21 +25,44 @@
 //! `powermove-exec` thread pool ([`run_matrix`], [`run_all`],
 //! [`table3_rows`]); set `POWERMOVE_THREADS` to pin the worker count.
 //!
-//! A seventh binary, `bench-gate`, runs the full matrix and compares the
-//! results against the checked-in `bench/baseline.json` (see the [`gate`]
-//! module), exiting non-zero on regression — CI runs it on every push.
+//! A seventh binary, `bench-gate`, runs the gated suite — **sharded** — and
+//! compares the results against the checked-in `bench/baseline.json` (see
+//! the [`gate`] module), exiting non-zero on regression; CI runs one matrix
+//! job per shard plus a final merge-and-gate job.
+//!
+//! Three layers make the gate sharded, statistical and crash-tolerant:
+//!
+//! * **sharding** ([`harness::ShardRegistry`]) — the gated suite is split
+//!   into named shards (`table2/small`, `table2/large`, `fig6/sweep`,
+//!   `fig7/multi-aod`) that form a disjoint exact cover, so CI fans one job
+//!   out per shard and `bench-gate --shard <name>` gates only that slice;
+//! * **statistics** ([`stats::SampleStats`]) — wall-clock metrics are
+//!   sampled over repeat runs (`--repeats`, default 3) and gated on a
+//!   median-vs-confidence-interval comparison instead of a 4× slack;
+//! * **streaming** ([`report::ReportWriter`]) — every completed matrix cell
+//!   is appended to a JSONL report as it finishes, so a crashed shard still
+//!   leaves a mergeable partial report, and `bench-gate merge` reassembles
+//!   the shard part-files into the full-matrix report and verdict table.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod gate;
 pub mod harness;
+pub mod report;
+pub mod stats;
 
 pub use gate::{
     compare, Baseline, BaselineEntry, GateError, GateReport, GateTolerance, MetricCheck, Verdict,
+    BASELINE_VERSION,
 };
 pub use harness::{
-    run_all, run_instance, run_matrix, score_program, table3_row, table3_rows, take_json_path,
-    write_json, BackendRegistry, RegisteredBackend, RunResult, Table3Row, DEFAULT_SEED, ENOLA,
-    POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE,
+    fig6_sweeps, fig7_cases, run_all, run_instance, run_instance_sampled, run_matrix,
+    run_matrix_sampled, run_shard, score_program, score_program_sampled, table3_row, table3_rows,
+    table3_rows_sampled, take_f64_flag, take_flag, take_json_path, take_switch, take_usize_flag,
+    write_json, BackendRegistry, RegisteredBackend, RunResult, ShardCell, ShardRegistry,
+    SuiteShard, Table3Row, DEFAULT_SEED, ENOLA, LARGE_SHARD_QUBITS, POWERMOVE_NON_STORAGE,
+    POWERMOVE_STORAGE,
 };
+pub use report::{merge_cells, parse_cells, read_cells, CellRecord, ParsedCell, ReportWriter};
+pub use stats::{SampleStats, DEFAULT_REPEATS};

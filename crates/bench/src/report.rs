@@ -1,0 +1,316 @@
+//! Streaming JSONL matrix reports.
+//!
+//! A monolithic run that crashes after 40 minutes used to leave *nothing*:
+//! the `--json` report was serialized only once every cell had finished.
+//! [`ReportWriter`] instead appends one self-delimiting JSON line per
+//! **completed** matrix cell, flushed as cells finish, so a crashed or
+//! killed run still leaves a parseable partial report — and per-shard CI
+//! jobs each leave a part-file that `bench-gate merge` reassembles into the
+//! full-matrix report.
+//!
+//! Each line is a [`CellRecord`]: the shard name, the cell's deterministic
+//! run-order index within the shard, and the full [`RunResult`]. Because
+//! cells finish out of order under the thread pool, the *line order* of a
+//! JSONL file is nondeterministic; [`merge_cells`] restores the canonical
+//! order (shard registry order, then cell index), which is what makes a
+//! merge of shard part-files byte-identical to a monolithic run's report.
+
+use crate::gate::GateError;
+use crate::harness::{RunResult, ShardRegistry};
+use serde::{Serialize, Value};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One streamed matrix cell: shard name, run-order index, and the result.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CellRecord {
+    /// Name of the shard the cell belongs to, e.g. `"table2/small"`.
+    pub shard: String,
+    /// Deterministic run-order index of the cell within its shard.
+    pub index: usize,
+    /// The cell's run result.
+    pub result: RunResult,
+}
+
+/// A cell read back from a JSONL stream. The result is kept as a parsed
+/// [`Value`] tree: merging re-renders the tree verbatim (which preserves
+/// byte-identity with the monolithic report), and the gate extracts only the
+/// metrics it compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedCell {
+    /// Name of the shard the cell belongs to.
+    pub shard: String,
+    /// Run-order index of the cell within its shard.
+    pub index: usize,
+    /// The serialized [`RunResult`] tree.
+    pub result: Value,
+}
+
+/// Appends one JSON line per completed matrix cell to a `.jsonl` file.
+///
+/// `append` is safe to call from several pool workers at once (the file
+/// handle sits behind a mutex) and flushes after every line, so the file is
+/// a valid JSONL prefix at all times — killing the process mid-run loses at
+/// most the cells that had not finished.
+#[derive(Debug)]
+pub struct ReportWriter {
+    file: Mutex<std::fs::File>,
+    path: PathBuf,
+}
+
+impl ReportWriter {
+    /// Creates (truncating) the stream file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created; the experiment binaries treat
+    /// an unwritable report path as fatal.
+    #[must_use]
+    pub fn create(path: &Path) -> Self {
+        let file = std::fs::File::create(path)
+            .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        ReportWriter {
+            file: Mutex::new(file),
+            path: path.to_path_buf(),
+        }
+    }
+
+    /// The path the writer streams to.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one completed cell as a single JSON line and flushes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors (see [`ReportWriter::create`]).
+    pub fn append(&self, shard: &str, index: usize, result: &RunResult) {
+        let record = CellRecord {
+            shard: shard.to_string(),
+            index,
+            result: result.clone(),
+        };
+        let line = serde_json::to_jsonl_line(&record);
+        let mut file = self.file.lock().expect("report stream poisoned");
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .unwrap_or_else(|e| panic!("cannot append to {}: {e}", self.path.display()));
+    }
+}
+
+/// Parses the text of a JSONL cell stream (see [`ReportWriter`]).
+///
+/// # Errors
+///
+/// Returns [`GateError::Parse`] on a malformed line or a record missing the
+/// `shard`/`index`/`result` fields.
+pub fn parse_cells(text: &str) -> Result<Vec<ParsedCell>, GateError> {
+    let lines = serde_json::from_str_jsonl(text).map_err(|e| GateError::Parse(e.to_string()))?;
+    lines
+        .into_iter()
+        .enumerate()
+        .map(|(line, record)| {
+            let field = |key: &str| {
+                record
+                    .get(key)
+                    .ok_or_else(|| GateError::Parse(format!("record {line}: missing `{key}`")))
+            };
+            let shard = field("shard")?
+                .as_str()
+                .ok_or_else(|| GateError::Parse(format!("record {line}: `shard` is not a string")))?
+                .to_string();
+            let index = field("index")?
+                .as_i64()
+                .and_then(|i| usize::try_from(i).ok())
+                .ok_or_else(|| {
+                    GateError::Parse(format!(
+                        "record {line}: `index` is not a non-negative integer"
+                    ))
+                })?;
+            let result = field("result")?.clone();
+            Ok(ParsedCell {
+                shard,
+                index,
+                result,
+            })
+        })
+        .collect()
+}
+
+/// Loads and parses one JSONL cell stream.
+///
+/// # Errors
+///
+/// Returns [`GateError::Io`] if the file cannot be read and
+/// [`GateError::Parse`] if a record is malformed.
+pub fn read_cells(path: &Path) -> Result<Vec<ParsedCell>, GateError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GateError::Io(format!("{}: {e}", path.display())))?;
+    parse_cells(&text)
+}
+
+/// Reassembles shard part-files into canonical full-matrix order: shards in
+/// registry order (unknown shard names after the known ones, alphabetically),
+/// then cells by run-order index. Rejects duplicate `(shard, index)` cells —
+/// the same shard streamed twice into one merge is operator error, not data.
+///
+/// # Errors
+///
+/// Returns [`GateError::Parse`] on duplicate cells.
+pub fn merge_cells(
+    files: Vec<Vec<ParsedCell>>,
+    shards: &ShardRegistry,
+) -> Result<Vec<ParsedCell>, GateError> {
+    let mut cells: Vec<ParsedCell> = files.into_iter().flatten().collect();
+    let shard_rank = |name: &str| {
+        shards
+            .names()
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or(usize::MAX)
+    };
+    cells.sort_by(|a, b| {
+        shard_rank(&a.shard)
+            .cmp(&shard_rank(&b.shard))
+            .then_with(|| a.shard.cmp(&b.shard))
+            .then_with(|| a.index.cmp(&b.index))
+    });
+    for pair in cells.windows(2) {
+        if pair[0].shard == pair[1].shard && pair[0].index == pair[1].index {
+            return Err(GateError::Parse(format!(
+                "duplicate cell {}#{} — was the same shard report passed twice?",
+                pair[0].shard, pair[0].index
+            )));
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::DEFAULT_SEED;
+    use crate::{run_instance, BackendRegistry, ENOLA};
+    use powermove_benchmarks::{generate, BenchmarkFamily};
+
+    fn sample_result() -> RunResult {
+        let registry = BackendRegistry::standard();
+        let instance = generate(BenchmarkFamily::Bv, 8, DEFAULT_SEED);
+        run_instance(&instance, 1, registry.entry(ENOLA).unwrap())
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "powermove-report-{tag}-{}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn writer_streams_parseable_cells() {
+        let result = sample_result();
+        let path = temp_path("stream");
+        let writer = ReportWriter::create(&path);
+        assert_eq!(writer.path(), path.as_path());
+        writer.append("table2/small", 0, &result);
+        writer.append("table2/small", 1, &result);
+        let cells = read_cells(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].shard, "table2/small");
+        assert_eq!(cells[1].index, 1);
+        assert_eq!(
+            cells[0].result.get("compiler").and_then(Value::as_str),
+            Some("enola")
+        );
+    }
+
+    #[test]
+    fn partial_stream_with_truncated_tail_still_parses_whole_lines() {
+        let result = sample_result();
+        let path = temp_path("partial");
+        let writer = ReportWriter::create(&path);
+        writer.append("fig6/sweep", 0, &result);
+        writer.append("fig6/sweep", 1, &result);
+        drop(writer);
+        // Simulate a crash mid-append: keep line 1 plus half of line 2.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first_len = text.find('\n').unwrap() + 1;
+        std::fs::write(&path, &text[..first_len + 40]).unwrap();
+        let err = read_cells(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // A crash *between* appends (the flush boundary) parses cleanly.
+        std::fs::write(&path, &text[..first_len]).unwrap();
+        let cells = read_cells(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].index, 0);
+    }
+
+    #[test]
+    fn merge_orders_by_shard_registry_then_index() {
+        let result = sample_result();
+        let value = serde_json::to_value(&result);
+        let cell = |shard: &str, index: usize| ParsedCell {
+            shard: shard.to_string(),
+            index,
+            result: value.clone(),
+        };
+        let shards = ShardRegistry::standard(DEFAULT_SEED);
+        let merged = merge_cells(
+            vec![
+                vec![cell("fig6/sweep", 1), cell("fig6/sweep", 0)],
+                vec![cell("table2/large", 0)],
+                vec![cell("custom/extra", 0), cell("table2/small", 0)],
+            ],
+            &shards,
+        )
+        .unwrap();
+        let order: Vec<(String, usize)> =
+            merged.iter().map(|c| (c.shard.clone(), c.index)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("table2/small".to_string(), 0),
+                ("table2/large".to_string(), 0),
+                ("fig6/sweep".to_string(), 0),
+                ("fig6/sweep".to_string(), 1),
+                ("custom/extra".to_string(), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_cells() {
+        let result = sample_result();
+        let value = serde_json::to_value(&result);
+        let cell = ParsedCell {
+            shard: "table2/small".to_string(),
+            index: 3,
+            result: value,
+        };
+        let shards = ShardRegistry::standard(DEFAULT_SEED);
+        let err = merge_cells(vec![vec![cell.clone()], vec![cell]], &shards).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn parse_cells_reports_missing_fields() {
+        assert!(parse_cells(r#"{"index": 0, "result": {}}"#)
+            .unwrap_err()
+            .to_string()
+            .contains("shard"));
+        assert!(parse_cells(r#"{"shard": "s", "index": -1, "result": {}}"#)
+            .unwrap_err()
+            .to_string()
+            .contains("index"));
+        assert!(parse_cells(r#"{"shard": "s", "index": 0}"#)
+            .unwrap_err()
+            .to_string()
+            .contains("result"));
+        assert_eq!(parse_cells("").unwrap(), Vec::new());
+    }
+}

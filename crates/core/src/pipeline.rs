@@ -358,6 +358,11 @@ impl StagePass {
 /// with one [`CompileContext::scratch`] context per item, and merges the
 /// worker contexts back into `ctx` in input order — keeping timing/counter
 /// layout deterministic for every worker count.
+///
+/// Dispatch is chunked ([`ThreadPool::par_map_chunked`]): block-level
+/// fan-outs scale with program size (a 100k-block program would otherwise
+/// queue 100k jobs), so the pool packs contiguous index ranges into one job
+/// each while `f` still observes items one at a time.
 fn par_map_merging<T, R>(
     pool: &ThreadPool,
     ctx: &mut CompileContext,
@@ -370,7 +375,7 @@ where
     R: Send,
 {
     ctx.time(pass, |_| ());
-    let mapped = pool.par_map(items, |item| {
+    let mapped = pool.par_map_chunked(items, |item| {
         let mut worker = CompileContext::scratch();
         let out = f(item, &mut worker);
         (out, worker)

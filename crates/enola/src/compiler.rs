@@ -2,7 +2,8 @@
 
 use crate::{partition_stages_mis, RevertRouter};
 use powermove::{CompileContext, CompileError, CompilerBackend};
-use powermove_circuit::{BlockProgram, Circuit, Segment};
+use powermove_circuit::{BlockProgram, Circuit, CzBlock, Segment};
+use powermove_exec::{Parallelism, ThreadPool};
 use powermove_hardware::{AodId, Architecture, HardwareError, Zone};
 use powermove_schedule::{CollMove, CompiledProgram, Instruction, Layout};
 use serde::{Deserialize, Serialize};
@@ -15,12 +16,31 @@ pub struct EnolaConfig {
     /// cost of compilation time, mimicking the solver-based scheduling of
     /// the original implementation.
     pub mis_node_budget: usize,
+    /// Worker count of the MIS stage-extraction fan-out: independent CZ
+    /// blocks are solved concurrently (the same shape as PowerMove's
+    /// `StagePass`), keeping compile-time comparisons apples-to-apples as
+    /// core counts grow. `0` means automatic (the `POWERMOVE_THREADS`
+    /// environment variable, then the core count); any other value pins the
+    /// pool size. The emitted program is byte-identical for every worker
+    /// count.
+    pub threads: usize,
+}
+
+impl EnolaConfig {
+    /// Returns the configuration with the MIS fan-out pinned to `threads`
+    /// workers (`0` restores automatic sizing).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 impl Default for EnolaConfig {
     fn default() -> Self {
         EnolaConfig {
             mis_node_budget: 200_000,
+            threads: 0,
         }
     }
 }
@@ -96,6 +116,35 @@ impl EnolaCompiler {
         })?;
         let router = RevertRouter::new(arch.clone(), initial_layout.clone());
 
+        // Stage extraction is the expensive half of the Enola pipeline (the
+        // branch-and-bound MIS search), and each commuting CZ block is
+        // independent — the same shape as PowerMove's `StagePass`. Fan the
+        // blocks out over the pool, merging each worker's scratch context
+        // back in block order so timings/counters stay deterministic for
+        // every worker count.
+        let pool = ThreadPool::new(Parallelism::from_setting(self.config.threads));
+        let budget = self.config.mis_node_budget;
+        let cz_blocks: Vec<&CzBlock> = block_program
+            .segments()
+            .iter()
+            .filter_map(|segment| match segment {
+                Segment::Cz(block) => Some(block),
+                Segment::OneQubit(_) => None,
+            })
+            .collect();
+        let staged = pool.par_map_chunked(cz_blocks, |block| {
+            let mut worker = CompileContext::scratch();
+            let stages = worker.time("stage", |_| partition_stages_mis(block, budget));
+            worker.count("stages", stages.len() as u64);
+            (stages, worker)
+        });
+        let mut staged_blocks = Vec::with_capacity(staged.len());
+        for (stages, worker) in staged {
+            ctx.merge(worker);
+            staged_blocks.push(stages);
+        }
+        let mut staged_blocks = staged_blocks.into_iter();
+
         let mut instructions: Vec<Instruction> = Vec::new();
         let mut num_stages = 0_usize;
 
@@ -104,11 +153,10 @@ impl EnolaCompiler {
                 Segment::OneQubit(layer) => {
                     instructions.push(Instruction::one_qubit_layer(layer.gates().to_vec()));
                 }
-                Segment::Cz(block) => {
-                    let stages = ctx.time("stage", |_| {
-                        partition_stages_mis(block, self.config.mis_node_budget)
-                    });
-                    ctx.count("stages", stages.len() as u64);
+                Segment::Cz(_) => {
+                    let stages = staged_blocks
+                        .next()
+                        .expect("one staged partition per CZ block");
                     for stage in stages {
                         let (forward, reverse) = ctx.time("route", |_| {
                             let forward = router.forward_moves(&stage);
@@ -143,7 +191,10 @@ impl CompilerBackend for EnolaCompiler {
     }
 
     fn config_description(&self) -> String {
-        format!("mis_node_budget={}", self.config.mis_node_budget)
+        format!(
+            "mis_node_budget={} threads={}",
+            self.config.mis_node_budget, self.config.threads
+        )
     }
 
     fn compile(
@@ -276,6 +327,41 @@ mod tests {
         let arch = Architecture::for_qubits(9).with_num_aods(3);
         let p = EnolaCompiler::default().compile(&circuit, &arch).unwrap();
         assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn parallel_stage_extraction_is_byte_identical() {
+        let circuit = ring_circuit(12);
+        let arch = Architecture::for_qubits(12);
+        let reference = EnolaCompiler::new(EnolaConfig::default().with_threads(1))
+            .compile(&circuit, &arch)
+            .unwrap();
+        let reference_bytes = serde_json::to_string(&reference.instructions().to_vec()).unwrap();
+        for threads in [2, 4] {
+            let parallel = EnolaCompiler::new(EnolaConfig::default().with_threads(threads))
+                .compile(&circuit, &arch)
+                .unwrap();
+            assert_eq!(
+                serde_json::to_string(&parallel.instructions().to_vec()).unwrap(),
+                reference_bytes,
+                "threads={threads} must not change the emitted program"
+            );
+            // Merged counters are deterministic too (timings are wall clocks
+            // and legitimately differ).
+            assert_eq!(
+                serde_json::to_string(&parallel.metadata().counters).unwrap(),
+                serde_json::to_string(&reference.metadata().counters).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn threads_knob_round_trips_through_config() {
+        let config = EnolaConfig::default().with_threads(3);
+        assert_eq!(config.threads, 3);
+        let compiler = EnolaCompiler::new(config);
+        assert!(compiler.config_description().contains("threads=3"));
+        assert_eq!(EnolaConfig::default().threads, 0, "default is automatic");
     }
 
     #[test]

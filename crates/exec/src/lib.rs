@@ -34,4 +34,4 @@ mod parallelism;
 mod pool;
 
 pub use parallelism::{Parallelism, THREADS_ENV};
-pub use pool::{PoolScope, ThreadPool};
+pub use pool::{PoolScope, ThreadPool, CHUNKS_PER_WORKER};

@@ -152,7 +152,64 @@ impl ThreadPool {
             })
             .collect()
     }
+
+    /// Like [`ThreadPool::par_map`], but queues one job per contiguous
+    /// **index range** instead of one job per item, so very wide fan-outs
+    /// (e.g. block-level compilation of a 100k-block program) do not pay a
+    /// queue push, mutex slot and wake-up per item.
+    ///
+    /// The input is split into at most `workers × `[`CHUNKS_PER_WORKER`]
+    /// near-equal contiguous chunks (never fewer than one item per chunk);
+    /// each chunk runs `f` over its items sequentially. Results are returned
+    /// in input order, and a sequential configuration degenerates to the
+    /// plain loop — the output is always identical to
+    /// `items.into_iter().map(f).collect()`.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` after the remaining chunks
+    /// have completed.
+    pub fn par_map_chunked<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let chunks = self.chunk_count(items.len());
+        if self.threads() <= 1 || chunks <= 1 {
+            return items.into_iter().map(&f).collect();
+        }
+        let mut chunked: Vec<Vec<T>> = Vec::with_capacity(chunks);
+        let len = items.len();
+        let base = len / chunks;
+        let remainder = len % chunks;
+        let mut items = items.into_iter();
+        for index in 0..chunks {
+            let take = base + usize::from(index < remainder);
+            chunked.push(items.by_ref().take(take).collect());
+        }
+        self.par_map(chunked, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<R>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// How many chunks [`ThreadPool::par_map_chunked`] splits `len` items
+    /// into: `workers × `[`CHUNKS_PER_WORKER`], capped at one item per chunk.
+    /// The oversubscription factor keeps workers busy when chunk runtimes are
+    /// skewed without approaching one-job-per-item queue pressure.
+    #[must_use]
+    pub fn chunk_count(&self, len: usize) -> usize {
+        len.min(self.threads() * CHUNKS_PER_WORKER).max(1)
+    }
 }
+
+/// Oversubscription factor of [`ThreadPool::par_map_chunked`]: the number of
+/// index-range chunks queued per worker, trading work-stealing balance
+/// against per-job queue overhead.
+pub const CHUNKS_PER_WORKER: usize = 4;
 
 impl Default for ThreadPool {
     fn default() -> Self {
@@ -361,6 +418,62 @@ mod tests {
         let pool = ThreadPool::new(Parallelism::fixed(4));
         assert_eq!(pool.par_map(Vec::<u32>::new(), |x| x), Vec::<u32>::new());
         assert_eq!(pool.par_map(vec![9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn par_map_chunked_matches_per_item_map() {
+        let items: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 7 + 3).collect();
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(Parallelism::fixed(threads));
+            assert_eq!(pool.par_map_chunked(items.clone(), |x| x * 7 + 3), expected);
+        }
+    }
+
+    #[test]
+    fn par_map_chunked_preserves_order_under_skew() {
+        let pool = ThreadPool::new(Parallelism::fixed(4));
+        let items: Vec<usize> = (0..300).collect();
+        let output = pool.par_map_chunked(items.clone(), |x| {
+            if x % 17 == 0 {
+                std::thread::sleep(Duration::from_micros(150));
+            }
+            x + 1
+        });
+        assert_eq!(output, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_chunked_handles_empty_and_tiny_inputs() {
+        let pool = ThreadPool::new(Parallelism::fixed(4));
+        assert_eq!(
+            pool.par_map_chunked(Vec::<u32>::new(), |x| x),
+            Vec::<u32>::new()
+        );
+        assert_eq!(pool.par_map_chunked(vec![5], |x| x * 2), vec![10]);
+        assert_eq!(pool.par_map_chunked(vec![1, 2], |x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn chunk_count_is_bounded_by_items_and_oversubscription() {
+        let pool = ThreadPool::new(Parallelism::fixed(4));
+        assert_eq!(pool.chunk_count(0), 1);
+        assert_eq!(pool.chunk_count(3), 3);
+        assert_eq!(pool.chunk_count(1_000_000), 4 * CHUNKS_PER_WORKER);
+        let sequential = ThreadPool::new(Parallelism::fixed(1));
+        assert_eq!(sequential.chunk_count(100), CHUNKS_PER_WORKER);
+    }
+
+    #[test]
+    fn par_map_chunked_propagates_panics() {
+        let pool = ThreadPool::new(Parallelism::fixed(4));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map_chunked((0..100).collect::<Vec<u32>>(), |x| {
+                assert!(x != 57, "boom on {x}");
+                x
+            })
+        }));
+        assert!(result.is_err());
     }
 
     #[test]

@@ -25,6 +25,12 @@ impl Error {
             message: format!("{} at byte {offset}", message.into()),
         }
     }
+
+    fn raw(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -128,6 +134,43 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
             out.push(' ');
         }
     }
+}
+
+/// Serializes a value as one newline-terminated JSON Lines record (compact
+/// JSON followed by `\n`), suitable for appending to a `.jsonl` stream where
+/// every record must stay on its own line.
+///
+/// The compact renderer never emits raw newlines (strings escape them as
+/// `\n`), so the produced line is always a complete, self-delimiting record.
+pub fn to_jsonl_line<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut line = to_string(value).expect("serialization is infallible");
+    line.push('\n');
+    line
+}
+
+/// Parses newline-delimited JSON (JSON Lines) into one [`Value`] per
+/// non-blank line.
+///
+/// Blank lines are skipped, so a file whose final record was fully written
+/// parses cleanly even without a trailing newline — and a stream truncated
+/// *between* records (e.g. by a killed writer) parses up to the truncation
+/// point. Only a line that is itself malformed fails.
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the 1-based line number of the first
+/// malformed record.
+pub fn from_str_jsonl(text: &str) -> Result<Vec<Value>, Error> {
+    let mut values = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value =
+            from_str(line).map_err(|e| Error::raw(format!("line {}: {}", index + 1, e.message)))?;
+        values.push(value);
+    }
+    Ok(values)
 }
 
 /// Parses JSON text into a [`Value`] tree.
@@ -473,6 +516,43 @@ mod tests {
         ] {
             assert_eq!(from_str(&text).unwrap(), original);
         }
+    }
+
+    #[test]
+    fn jsonl_lines_round_trip() {
+        let values = [
+            Value::Object(vec![("cell".into(), Value::Int(0))]),
+            Value::Object(vec![("cell".into(), Value::Float(1.5))]),
+        ];
+        let mut stream = String::new();
+        for v in &values {
+            stream.push_str(&to_jsonl_line(v));
+        }
+        assert_eq!(stream.matches('\n').count(), 2);
+        let parsed = from_str_jsonl(&stream).unwrap();
+        assert_eq!(parsed, values);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_and_tolerates_missing_trailing_newline() {
+        let parsed = from_str_jsonl("{\"a\":1}\n\n  \n{\"b\":2}").unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].get("b").and_then(Value::as_i64), Some(2));
+        assert_eq!(from_str_jsonl("").unwrap(), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn jsonl_reports_the_offending_line() {
+        let err = from_str_jsonl("{\"ok\":true}\n{\"broken\":\n{\"ok\":2}").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_strings_with_newlines_stay_on_one_line() {
+        let v = Value::Object(vec![("msg".into(), Value::String("a\nb".into()))]);
+        let line = to_jsonl_line(&v);
+        assert_eq!(line.matches('\n').count(), 1, "only the terminator");
+        assert_eq!(from_str_jsonl(&line).unwrap(), vec![v]);
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Workspace-level contract of the sharded, statistically-gated benchmark
+//! pipeline:
+//!
+//! * the standard shard partition is a **disjoint exact cover** of the full
+//!   gated suite — every cell is gated exactly once, so per-shard CI jobs
+//!   plus a merge reproduce the monolithic gate;
+//! * `bench-gate merge` of per-shard JSONL part-files is **byte-identical**
+//!   to the report a monolithic run of the same cells writes, regardless of
+//!   part-file order or the completion order of streamed lines;
+//! * a stream truncated at a line boundary (what a killed run leaves, since
+//!   the writer flushes per cell) still parses, and gating the merged
+//!   partial matrix reports the unfinished cells as missing;
+//! * repeat-run sampling collects one wall-clock sample per repeat while
+//!   deterministic metrics stay single-run.
+
+use powermove_bench::{
+    compare, merge_cells, parse_cells, read_cells, run_instance, run_instance_sampled, run_shard,
+    BackendRegistry, Baseline, BaselineEntry, GateTolerance, ReportWriter, RunResult, ShardCell,
+    ShardRegistry, SuiteShard, DEFAULT_SEED, ENOLA, LARGE_SHARD_QUBITS, POWERMOVE_NON_STORAGE,
+    POWERMOVE_STORAGE,
+};
+use powermove_suite::benchmarks::{generate, table2_suite, BenchmarkFamily};
+use serde_json::Value;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "powermove-shard-pipeline-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// A small two-shard registry that is cheap to run in debug mode.
+fn tiny_shards() -> ShardRegistry {
+    let cell = |family, n| ShardCell {
+        instance: generate(family, n, DEFAULT_SEED),
+        num_aods: 1,
+    };
+    ShardRegistry::from_shards(vec![
+        SuiteShard::new(
+            "tiny/a",
+            vec![ENOLA.to_string(), POWERMOVE_STORAGE.to_string()],
+            vec![cell(BenchmarkFamily::Bv, 8), cell(BenchmarkFamily::Qft, 6)],
+        ),
+        SuiteShard::new(
+            "tiny/b",
+            vec![POWERMOVE_STORAGE.to_string()],
+            vec![cell(BenchmarkFamily::QaoaRegular3, 10)],
+        ),
+    ])
+}
+
+#[test]
+fn standard_shards_are_a_disjoint_exact_cover_of_the_gated_suite() {
+    let shards = ShardRegistry::standard(DEFAULT_SEED);
+
+    // Disjoint: no (compiler, benchmark) cell appears in two shards.
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for shard in shards.iter() {
+        for cell in shard.cell_ids() {
+            assert!(
+                seen.insert(cell.clone()),
+                "cell {cell:?} is gated by more than one shard"
+            );
+        }
+    }
+
+    // Exact cover: the union is precisely Table 2 under the three standard
+    // backends, plus the Fig. 6 sweep extras under the three backends, plus
+    // the Fig. 7 multi-AOD grid under the with-storage backend.
+    let standard = [ENOLA, POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE];
+    let mut expected: BTreeSet<(String, String)> = BTreeSet::new();
+    let table2_names: Vec<String> = table2_suite(DEFAULT_SEED)
+        .into_iter()
+        .map(|i| i.name)
+        .collect();
+    for name in &table2_names {
+        for backend in standard {
+            expected.insert((backend.to_string(), name.clone()));
+        }
+    }
+    for (family, sizes) in powermove_bench::fig6_sweeps() {
+        for n in sizes {
+            let name = generate(family, n, DEFAULT_SEED).name;
+            if table2_names.contains(&name) {
+                continue;
+            }
+            for backend in standard {
+                expected.insert((backend.to_string(), name.clone()));
+            }
+        }
+    }
+    for (family, n) in powermove_bench::fig7_cases() {
+        let base = generate(family, n, DEFAULT_SEED).name;
+        for aods in 2..=4 {
+            expected.insert((POWERMOVE_STORAGE.to_string(), format!("{base}@aods{aods}")));
+        }
+    }
+    assert_eq!(seen, expected, "shard union drifted from the gated suite");
+
+    // Every cell has a canonical rank and the ranks are a permutation.
+    let ranks: BTreeSet<usize> = seen
+        .iter()
+        .map(|(c, b)| shards.cell_rank(c, b).expect("every gated cell has a rank"))
+        .collect();
+    assert_eq!(ranks.len(), seen.len());
+    assert_eq!(*ranks.iter().max().unwrap(), seen.len() - 1);
+    assert!(shards.cell_rank("enola", "not-a-benchmark").is_none());
+}
+
+#[test]
+fn table2_shards_split_by_the_documented_qubit_threshold() {
+    let shards = ShardRegistry::standard(DEFAULT_SEED);
+    let small = shards.get("table2/small").unwrap();
+    let large = shards.get("table2/large").unwrap();
+    assert!(small
+        .cells()
+        .iter()
+        .all(|c| c.instance.num_qubits < LARGE_SHARD_QUBITS));
+    assert!(large
+        .cells()
+        .iter()
+        .all(|c| c.instance.num_qubits >= LARGE_SHARD_QUBITS));
+    assert_eq!(
+        small.cells().len() + large.cells().len(),
+        table2_suite(DEFAULT_SEED).len()
+    );
+    // Multi-AOD cells are keyed uniquely via the @aods suffix.
+    let fig7 = shards.get("fig7/multi-aod").unwrap();
+    assert!(fig7
+        .cells()
+        .iter()
+        .all(|c| c.instance.name.ends_with(&format!("@aods{}", c.num_aods))));
+}
+
+#[test]
+fn merge_of_shard_jsonl_part_files_is_byte_identical_to_the_monolithic_report() {
+    let shards = tiny_shards();
+    let registry = BackendRegistry::standard();
+
+    // "Monolithic" run: all shards in canonical order, one streamed file.
+    let mono_path = temp_path("mono");
+    let mut part_paths = Vec::new();
+    let mut all_results: Vec<RunResult> = Vec::new();
+    {
+        let mono_writer = ReportWriter::create(&mono_path);
+        for shard in shards.iter() {
+            let part_path = temp_path(&shard.name().replace('/', "-"));
+            let part_writer = ReportWriter::create(&part_path);
+            let results = run_shard(shard, &registry, 1, |index, result| {
+                mono_writer.append(shard.name(), index, result);
+                part_writer.append(shard.name(), index, result);
+            });
+            part_paths.push(part_path);
+            all_results.extend(results);
+        }
+    }
+    let monolithic_report = serde_json::to_string_pretty(&all_results).expect("results serialize");
+
+    // Merge the part-files in scrambled order, with one file's lines
+    // reversed (streamed lines arrive in completion order, not run order).
+    let scrambled = std::fs::read_to_string(&part_paths[0]).unwrap();
+    let reversed: String = scrambled
+        .lines()
+        .rev()
+        .flat_map(|l| [l, "\n"])
+        .collect::<String>();
+    std::fs::write(&part_paths[0], reversed).unwrap();
+    let files: Vec<_> = part_paths
+        .iter()
+        .rev()
+        .map(|p| read_cells(p).expect("part-file parses"))
+        .collect();
+    let merged = merge_cells(files, &shards).expect("no duplicates");
+    let values: Vec<&Value> = merged.iter().map(|c| &c.result).collect();
+    let merged_report = serde_json::to_string_pretty(&values).expect("values serialize");
+    assert_eq!(
+        merged_report, monolithic_report,
+        "merged shard reports must be byte-identical to the monolithic report"
+    );
+
+    // The merged cells also gate identically to the monolithic results.
+    let runs: Vec<(String, Vec<RunResult>)> = {
+        let mut runs = Vec::new();
+        let mut rest = all_results.clone();
+        for shard in shards.iter() {
+            let take = shard.cells().len() * shard.backends().len();
+            let tail = rest.split_off(take);
+            runs.push((shard.name().to_string(), rest));
+            rest = tail;
+        }
+        runs
+    };
+    let baseline = Baseline::from_shard_runs(&runs);
+    let merged_entries: Vec<BaselineEntry> = merged
+        .iter()
+        .map(|c| BaselineEntry::from_result_value(&c.result, &c.shard).expect("cell parses"))
+        .collect();
+    let report = compare(&baseline, &merged_entries, &GateTolerance::default());
+    assert!(report.passed(), "self-comparison must pass");
+    assert_eq!(report.checks.len(), merged_entries.len() * 6);
+
+    for path in part_paths.iter().chain([&mono_path]) {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn truncated_stream_parses_and_gates_as_missing_cells() {
+    let shards = tiny_shards();
+    let registry = BackendRegistry::standard();
+    let shard = shards.get("tiny/a").unwrap();
+    let path = temp_path("truncated");
+    {
+        let writer = ReportWriter::create(&path);
+        let _ = run_shard(shard, &registry, 1, |index, result| {
+            writer.append(shard.name(), index, result);
+        });
+    }
+    // Keep only the first streamed line — the prefix a killed run leaves at
+    // a flush boundary.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let first_line_len = text.find('\n').unwrap() + 1;
+    let cells = parse_cells(&text[..first_line_len]).expect("partial stream parses");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(cells.len(), 1);
+
+    // Gating the partial matrix against a full baseline reports the
+    // unfinished cells as missing (and therefore fails) instead of crashing
+    // or silently passing.
+    let full = run_shard(shard, &registry, 1, |_, _| {});
+    let baseline = Baseline::from_shard_runs(&[(shard.name().to_string(), full)]);
+    let partial_entries: Vec<BaselineEntry> = cells
+        .iter()
+        .map(|c| BaselineEntry::from_result_value(&c.result, &c.shard).unwrap())
+        .collect();
+    let report = compare(&baseline, &partial_entries, &GateTolerance::default());
+    assert!(!report.passed());
+    assert_eq!(report.missing_in_current.len(), 3);
+}
+
+#[test]
+fn repeat_runs_sample_the_wall_clock_but_not_the_deterministic_metrics() {
+    let registry = BackendRegistry::standard();
+    let entry = registry.entry(POWERMOVE_STORAGE).unwrap();
+    let instance = generate(BenchmarkFamily::Bv, 10, DEFAULT_SEED);
+    let sampled = run_instance_sampled(&instance, 1, entry, 3);
+    assert_eq!(sampled.compile_time_samples.len(), 3);
+    let mut sorted = sampled.compile_time_samples.clone();
+    sorted.sort_by(f64::total_cmp);
+    assert_eq!(sampled.compile_time_s, sorted[1], "median of three samples");
+
+    let single = run_instance(&instance, 1, entry);
+    assert_eq!(single.compile_time_samples.len(), 1);
+    assert_eq!(sampled.fidelity, single.fidelity);
+    assert_eq!(sampled.execution_time_us, single.execution_time_us);
+    assert_eq!(sampled.stages, single.stages);
+    assert_eq!(sampled.transfers, single.transfers);
+    assert_eq!(sampled.cz_gates, single.cz_gates);
+
+    // Zero repeats degrades to one sample rather than panicking.
+    let clamped = run_instance_sampled(&instance, 1, entry, 0);
+    assert_eq!(clamped.compile_time_samples.len(), 1);
+}
