@@ -2,7 +2,7 @@
 //! transitions in the with-storage and non-storage configurations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use powermove::{partition_stages, schedule_stages, Router};
+use powermove::{partition_stages, schedule_stages, RoutingState};
 use powermove_benchmarks::{generate, BenchmarkFamily};
 use powermove_circuit::BlockProgram;
 use powermove_hardware::{Architecture, Zone};
@@ -28,7 +28,7 @@ fn bench_router(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("with_storage", n), &stages, |b, stages| {
             b.iter(|| {
                 let layout = Layout::row_major(&arch, n, Zone::Storage).unwrap();
-                let mut router = Router::new(arch.clone(), layout, true);
+                let mut router = RoutingState::new(arch.clone(), layout, true);
                 for stage in stages {
                     black_box(router.route_stage(stage).unwrap());
                 }
@@ -37,7 +37,7 @@ fn bench_router(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("non_storage", n), &stages, |b, stages| {
             b.iter(|| {
                 let layout = Layout::row_major(&arch, n, Zone::Compute).unwrap();
-                let mut router = Router::new(arch.clone(), layout, false);
+                let mut router = RoutingState::new(arch.clone(), layout, false);
                 for stage in stages {
                     black_box(router.route_stage(stage).unwrap());
                 }

@@ -68,15 +68,30 @@ fn take_tolerance(args: &mut Vec<String>) -> GateTolerance {
     tolerance
 }
 
-fn load_baseline_or_exit(path: &std::path::Path) -> Baseline {
+/// Loads the baseline once, up front. A missing or corrupt file is fatal
+/// (exit 2) unless `allow_missing` — the `--update` bootstrap, which starts
+/// from an empty baseline when the file does not exist yet.
+fn load_baseline(path: &std::path::Path, allow_missing: bool) -> Option<Baseline> {
     match Baseline::load(path) {
-        Ok(baseline) => baseline,
+        Ok(baseline) => Some(baseline),
         Err(e) => {
+            if allow_missing && !path.exists() {
+                return None;
+            }
             eprintln!("bench-gate: {e}");
             eprintln!("bench-gate: run with --update to record a fresh baseline");
             std::process::exit(2);
         }
     }
+}
+
+/// The shard registry for a loaded baseline: the `table2/small` /
+/// `table2/large` split is balanced from its recorded per-cell compile wall
+/// clocks (the qubit-count heuristic when bootstrapping without one).
+/// Deriving the split from the *checked-in* medians keeps shard membership
+/// deterministic across machines.
+fn shards_for(baseline: Option<&Baseline>) -> ShardRegistry {
+    ShardRegistry::standard_with_baseline(DEFAULT_SEED, baseline)
 }
 
 /// Prints the verdict table and summary line; returns whether the gate
@@ -150,7 +165,8 @@ fn gate_main(mut args: Vec<String>) {
         std::process::exit(2);
     }
 
-    let shards = ShardRegistry::standard(DEFAULT_SEED);
+    let loaded_baseline = load_baseline(&baseline_path, update || list_shards);
+    let shards = shards_for(loaded_baseline.as_ref());
     if list_shards {
         println!("{:<16} {:>7}  backends", "shard", "cells");
         for shard in shards.iter() {
@@ -188,7 +204,7 @@ fn gate_main(mut args: Vec<String>) {
         std::process::exit(2);
     }
 
-    let registry = BackendRegistry::standard();
+    let registry = BackendRegistry::standard().with_routing_variants();
     let writer = jsonl_path.as_deref().map(ReportWriter::create);
     println!(
         "bench-gate: {} shard(s), {} cells, {} compile-time sample(s) per cell",
@@ -224,11 +240,7 @@ fn gate_main(mut args: Vec<String>) {
 
     let fresh = Baseline::from_shard_runs(&runs);
     if update {
-        let previous = if baseline_path.exists() {
-            load_baseline_or_exit(&baseline_path)
-        } else {
-            Baseline::default()
-        };
+        let previous = loaded_baseline.unwrap_or_default();
         // Stale-cell pruning is membership-based and therefore skipped for
         // --filter runs: a filtered update must only touch the cells it
         // actually re-ran.
@@ -247,7 +259,7 @@ fn gate_main(mut args: Vec<String>) {
         return;
     }
 
-    let baseline = load_baseline_or_exit(&baseline_path);
+    let baseline = loaded_baseline.expect("gate mode always loads a baseline");
     // A full, unfiltered run holds the entire baseline accountable (stale
     // entries fail as missing); a shard or filter run only gates its slice.
     let scoped = if shard_name.is_none() && filter.is_empty() {
@@ -273,7 +285,8 @@ fn merge_main(mut args: Vec<String>) {
         std::process::exit(2);
     }
 
-    let shards = ShardRegistry::standard(DEFAULT_SEED);
+    let baseline = load_baseline(&baseline_path, false).expect("merge mode requires a baseline");
+    let shards = shards_for(Some(&baseline));
     let mut files: Vec<Vec<ParsedCell>> = Vec::new();
     for path in &args {
         match read_cells(&PathBuf::from(path)) {
@@ -314,7 +327,6 @@ fn merge_main(mut args: Vec<String>) {
             eprintln!("bench-gate merge: {e}");
             std::process::exit(2);
         });
-    let baseline = load_baseline_or_exit(&baseline_path);
     // The merged matrix answers for the whole baseline: a shard that
     // crashed (partial part-file) or never uploaded surfaces as MISSING.
     let report = compare(&baseline, &current, &tolerance);

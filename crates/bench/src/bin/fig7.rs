@@ -1,6 +1,8 @@
 //! Regenerates Fig. 7 of the paper: execution time and fidelity of the
 //! with-storage PowerMove configuration as the number of AOD arrays grows
-//! from 1 to 4, on the five benchmark instances used in the figure.
+//! from 1 to 4, on the five benchmark instances used in the figure — now
+//! under two routing variants: the greedy router's chunked packing and the
+//! multi-AOD collective-move scheduler's duration-balanced windows.
 //!
 //! Usage:
 //!
@@ -10,7 +12,7 @@
 
 use powermove_bench::{
     fig7_cases, run_instance, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
-    POWERMOVE_STORAGE,
+    POWERMOVE_MULTI_AOD, POWERMOVE_STORAGE,
 };
 use powermove_benchmarks::generate;
 use powermove_exec::ThreadPool;
@@ -26,38 +28,45 @@ struct Fig7Point {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = take_json_path(&mut args);
-    let registry = BackendRegistry::standard();
-    let storage = registry
-        .entry(POWERMOVE_STORAGE)
-        .expect("standard backend registered");
-    // The case list is shared with the `fig7/multi-aod` gate shard
-    // (`powermove_bench::fig7_cases`), so the figure and the CI gate can
-    // never drift apart.
+    let registry = BackendRegistry::standard().with_routing_variants();
+    // The case list and the backend pair are shared with the
+    // `fig7/multi-aod` gate shard (`powermove_bench::fig7_cases`), so the
+    // figure and the CI gate can never drift apart.
+    let backends = [POWERMOVE_STORAGE, POWERMOVE_MULTI_AOD];
     let cases = fig7_cases();
     println!(
-        "{:<20} {:>6} {:>14} {:>12} {:>12}",
-        "Benchmark", "#AODs", "Texe (us)", "Fidelity", "Stages"
+        "{:<20} {:<22} {:>6} {:>14} {:>14} {:>12} {:>8}",
+        "Benchmark", "Backend", "#AODs", "Texe (us)", "Tmove (us)", "Fidelity", "Stages"
     );
-    // Fan the instance × AOD-count grid out over the POWERMOVE_THREADS pool;
-    // par_map keeps the results in grid order for printing.
+    // Fan the instance × backend × AOD-count grid out over the
+    // POWERMOVE_THREADS pool; par_map keeps the results in grid order.
     let instances: Vec<_> = cases
         .into_iter()
         .map(|(family, n)| generate(family, n, DEFAULT_SEED))
         .collect();
-    let jobs: Vec<(usize, usize)> = (0..instances.len())
-        .flat_map(|i| (1..=4_usize).map(move |aods| (i, aods)))
+    let jobs: Vec<(usize, &str, usize)> = (0..instances.len())
+        .flat_map(|i| {
+            backends
+                .iter()
+                .flat_map(move |&backend| (1..=4_usize).map(move |aods| (i, backend, aods)))
+        })
         .collect();
-    let results: Vec<Fig7Point> = ThreadPool::from_env().par_map(jobs, |(i, aods)| Fig7Point {
-        aods,
-        result: run_instance(&instances[i], aods, storage),
+    let results: Vec<Fig7Point> = ThreadPool::from_env().par_map(jobs, |(i, backend, aods)| {
+        let entry = registry.entry(backend).expect("backend registered");
+        Fig7Point {
+            aods,
+            result: run_instance(&instances[i], aods, entry),
+        }
     });
 
     for (i, point) in results.iter().enumerate() {
         println!(
-            "{:<20} {:>6} {:>14.1} {:>12.3e} {:>12}",
+            "{:<20} {:<22} {:>6} {:>14.1} {:>14.1} {:>12.3e} {:>8}",
             point.result.benchmark,
+            point.result.compiler,
             point.aods,
             point.result.execution_time_us,
+            point.result.movement_time_us,
             point.result.fidelity,
             point.result.stages
         );

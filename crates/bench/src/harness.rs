@@ -23,9 +23,10 @@
 //! numbers, run with `POWERMOVE_THREADS=1`; the `bench-gate` tolerances
 //! absorb the contention noise instead (generous slack + absolute floor).
 
+use crate::gate::Baseline;
 use crate::stats::SampleStats;
 use enola_baseline::{EnolaCompiler, EnolaConfig};
-use powermove::{CompilerBackend, CompilerConfig, PowerMoveCompiler};
+use powermove::{CompilerBackend, CompilerConfig, PowerMoveCompiler, RoutingConfig};
 use powermove_benchmarks::{generate, table2_suite, BenchmarkFamily, BenchmarkInstance};
 use powermove_exec::ThreadPool;
 use powermove_fidelity::{evaluate_program, FidelityBreakdown};
@@ -45,6 +46,12 @@ pub const ENOLA: &str = "enola";
 pub const POWERMOVE_NON_STORAGE: &str = "powermove-non-storage";
 /// Registry id of the PowerMove with-storage configuration.
 pub const POWERMOVE_STORAGE: &str = "powermove-storage";
+/// Registry id of the with-storage configuration driven by the multi-AOD
+/// collective-move scheduler (duration-balanced per-AOD windows).
+pub const POWERMOVE_MULTI_AOD: &str = "powermove-multi-aod";
+/// Registry id of the with-storage configuration driven by the lookahead
+/// router with a two-stage window.
+pub const POWERMOVE_LOOKAHEAD: &str = "powermove@lookahead2";
 
 /// One registered compilation strategy: a display id plus the backend.
 pub struct RegisteredBackend {
@@ -150,6 +157,40 @@ impl BackendRegistry {
         registry
     }
 
+    /// Adds the routing-strategy variants of the with-storage configuration:
+    /// [`POWERMOVE_MULTI_AOD`] (the multi-AOD collective-move scheduler,
+    /// gated on the `fig7/multi-aod` shard next to the greedy router) and
+    /// [`POWERMOVE_LOOKAHEAD`] (the two-stage lookahead router). Like the
+    /// standard backends, both pin their pipelines to one worker.
+    ///
+    /// ```
+    /// use powermove_bench::{BackendRegistry, POWERMOVE_MULTI_AOD};
+    ///
+    /// let registry = BackendRegistry::standard().with_routing_variants();
+    /// assert_eq!(registry.len(), 5);
+    /// assert!(registry.get(POWERMOVE_MULTI_AOD).is_some());
+    /// ```
+    #[must_use]
+    pub fn with_routing_variants(mut self) -> Self {
+        self.register(
+            POWERMOVE_MULTI_AOD,
+            Box::new(PowerMoveCompiler::new(
+                CompilerConfig::default()
+                    .with_threads(1)
+                    .with_routing(RoutingConfig::multi_aod()),
+            )),
+        );
+        self.register(
+            POWERMOVE_LOOKAHEAD,
+            Box::new(PowerMoveCompiler::new(
+                CompilerConfig::default()
+                    .with_threads(1)
+                    .with_routing(RoutingConfig::lookahead(2)),
+            )),
+        );
+        self
+    }
+
     /// Registers a backend under `id`.
     ///
     /// Ids are unique: registering an id that is already present **replaces**
@@ -229,12 +270,20 @@ pub struct RunResult {
     pub benchmark: String,
     /// Circuit width.
     pub num_qubits: u32,
+    /// Number of AOD arrays the schedule was packed for (from
+    /// `CompileMetadata::num_aods`), so reports record the count that drove
+    /// multi-AOD packing.
+    pub num_aods: usize,
     /// Output fidelity excluding the 1Q factor (the paper's convention).
     pub fidelity: f64,
     /// Per-factor fidelity breakdown.
     pub breakdown: FidelityBreakdown,
     /// Execution time in microseconds.
     pub execution_time_us: f64,
+    /// Total movement wall clock (translations plus transfers) in
+    /// microseconds — the slice of the execution time multi-AOD scheduling
+    /// compresses.
+    pub movement_time_us: f64,
     /// Compilation wall-clock time in seconds: the **median** of
     /// [`RunResult::compile_time_samples`].
     pub compile_time_s: f64,
@@ -358,9 +407,11 @@ pub fn score_program_sampled(
         compiler: compiler_id.to_string(),
         benchmark: instance.name.clone(),
         num_qubits: instance.num_qubits,
+        num_aods: metadata.num_aods,
         fidelity: report.fidelity_excluding_one_qubit(),
         breakdown: report.breakdown,
         execution_time_us: report.execution_time_us(),
+        movement_time_us: report.trace.movement_time * 1e6,
         compile_time_s,
         compile_time_samples,
         pass_timings: metadata.pass_timings,
@@ -564,20 +615,41 @@ pub struct ShardRegistry {
 impl ShardRegistry {
     /// The standard sharding of the gated suite:
     ///
-    /// * `table2/small` — Table 2 instances below [`LARGE_SHARD_QUBITS`]
-    ///   qubits, all three standard backends;
-    /// * `table2/large` — the remaining Table 2 instances (the slow half),
-    ///   all three standard backends;
+    /// * `table2/small` / `table2/large` — the Table 2 suite split into a
+    ///   fast and a slow half (see [`ShardRegistry::standard_with_baseline`]
+    ///   for how the split is derived), all three standard backends;
     /// * `fig6/sweep` — Fig. 6 sweep sizes not already covered by Table 2,
     ///   all three standard backends;
     /// * `fig7/multi-aod` — the Fig. 7 instances at 2–4 AOD arrays
-    ///   (`@aods<k>`-suffixed names), with-storage backend only (the
-    ///   configuration the figure evaluates).
+    ///   (`@aods<k>`-suffixed names), compiled under both the greedy
+    ///   with-storage configuration and the multi-AOD scheduler variant
+    ///   ([`POWERMOVE_MULTI_AOD`]), so the gate regression-guards the
+    ///   scheduler's movement-wall-clock win.
     ///
     /// Together the shards cover every gated cell exactly once
     /// (asserted by the workspace test suite).
+    ///
+    /// Without a baseline the Table 2 split falls back to the
+    /// [`LARGE_SHARD_QUBITS`] qubit-count heuristic for every cell.
     #[must_use]
     pub fn standard(seed: u64) -> Self {
+        Self::standard_with_baseline(seed, None)
+    }
+
+    /// [`ShardRegistry::standard`] with the Table 2 small/large split
+    /// derived from recorded per-cell compile wall clocks.
+    ///
+    /// Each instance's cost is the sum of its standard backends' median
+    /// compile times in `baseline`; costed instances are distributed over
+    /// the two shards by greedy longest-first balancing, so shard runtimes
+    /// stay level as the suite grows instead of drifting with the
+    /// hand-tuned qubit threshold. Instances without any baseline entry
+    /// (new benchmarks, bootstrap runs) fall back to the qubit-count
+    /// heuristic. The split changes only *which* of the two table2 shards
+    /// gates a cell — the union of gated cells is identical for every
+    /// baseline, preserving the exact-cover invariant.
+    #[must_use]
+    pub fn standard_with_baseline(seed: u64, baseline: Option<&Baseline>) -> Self {
         let standard_backends = vec![
             ENOLA.to_string(),
             POWERMOVE_NON_STORAGE.to_string(),
@@ -590,10 +662,7 @@ impl ShardRegistry {
 
         let table2 = table2_suite(seed);
         let table2_names: Vec<&str> = table2.iter().map(|i| i.name.as_str()).collect();
-        let (large, small): (Vec<_>, Vec<_>) = table2
-            .iter()
-            .cloned()
-            .partition(|i| i.num_qubits >= LARGE_SHARD_QUBITS);
+        let (large, small) = split_table2(&table2, baseline);
 
         let fig6_cells: Vec<ShardCell> = fig6_sweeps()
             .into_iter()
@@ -620,6 +689,10 @@ impl ShardRegistry {
                 })
             })
             .collect();
+        let fig7_backends = vec![
+            POWERMOVE_STORAGE.to_string(),
+            POWERMOVE_MULTI_AOD.to_string(),
+        ];
 
         ShardRegistry {
             shards: vec![
@@ -634,11 +707,7 @@ impl ShardRegistry {
                     large.into_iter().map(single_aod).collect(),
                 ),
                 SuiteShard::new("fig6/sweep", standard_backends, fig6_cells),
-                SuiteShard::new(
-                    "fig7/multi-aod",
-                    vec![POWERMOVE_STORAGE.to_string()],
-                    fig7_cells,
-                ),
+                SuiteShard::new("fig7/multi-aod", fig7_backends, fig7_cells),
             ],
         }
     }
@@ -705,6 +774,63 @@ impl ShardRegistry {
             .iter()
             .find(|s| s.contains_cell(compiler, benchmark))
     }
+}
+
+/// Splits the Table 2 suite into its `(large, small)` shard halves.
+///
+/// Instances with recorded baseline entries are costed by the sum of their
+/// standard backends' median compile wall clocks and distributed by greedy
+/// longest-first balancing (the heavier bin is `large`); instances without
+/// any entry use the [`LARGE_SHARD_QUBITS`] qubit heuristic. Each half
+/// preserves the suite order, keeping shard cell lists deterministic.
+fn split_table2(
+    table2: &[BenchmarkInstance],
+    baseline: Option<&Baseline>,
+) -> (Vec<BenchmarkInstance>, Vec<BenchmarkInstance>) {
+    let cost_of = |name: &str| -> Option<f64> {
+        let baseline = baseline?;
+        let mut total = 0.0;
+        let mut found = false;
+        for backend in [ENOLA, POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE] {
+            if let Some(entry) = baseline.entry(backend, name) {
+                total += entry.compile_time.median();
+                found = true;
+            }
+        }
+        found.then_some(total)
+    };
+
+    let mut large_indices: Vec<usize> = Vec::new();
+    let mut small_indices: Vec<usize> = Vec::new();
+    let mut costed: Vec<(f64, usize)> = Vec::new();
+    for (index, instance) in table2.iter().enumerate() {
+        match cost_of(&instance.name) {
+            Some(cost) => costed.push((cost, index)),
+            None if instance.num_qubits >= LARGE_SHARD_QUBITS => large_indices.push(index),
+            None => small_indices.push(index),
+        }
+    }
+    // Longest first; ties keep suite order so the split is deterministic.
+    costed.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let (mut large_cost, mut small_cost) = (0.0_f64, 0.0_f64);
+    for (cost, index) in costed {
+        if large_cost <= small_cost {
+            large_indices.push(index);
+            large_cost += cost;
+        } else {
+            small_indices.push(index);
+            small_cost += cost;
+        }
+    }
+    let in_suite_order = |mut indices: Vec<usize>| -> Vec<BenchmarkInstance> {
+        indices.sort_unstable();
+        indices.into_iter().map(|i| table2[i].clone()).collect()
+    };
+    (in_suite_order(large_indices), in_suite_order(small_indices))
 }
 
 /// Runs one shard's cell × backend matrix with `repeats` compile-time

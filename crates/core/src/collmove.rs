@@ -53,6 +53,104 @@ pub fn pack_move_groups(ordered: Vec<Vec<SiteMove>>, num_aods: usize) -> Vec<Ins
         .collect()
 }
 
+/// Packs the two move classes of one stage transition into duration-balanced
+/// parallel windows across `arch.num_aods()` AOD arrays (the
+/// [`MultiAodScheduler`](crate::MultiAodScheduler) packing).
+///
+/// Where [`pack_move_groups`] chunks the dwell-time order as-is — so one
+/// slow translation in a window wastes the other AODs' time — this packing
+/// sorts each class's groups by translation length (longest first, stable on
+/// ties so the dwell-time order still breaks them) before chunking, which
+/// groups similar-duration moves into shared windows. Storage-bound groups
+/// always occupy the same-or-earlier window as every interaction group (the
+/// classes may share at most the one boundary window, whose moves the
+/// hardware applies simultaneously), preserving the move-in-first guarantee
+/// that a site vacated towards storage is free before an interaction
+/// arrives at it.
+///
+/// Two guards make the result safe and never slower than the greedy
+/// chunking *by construction*:
+///
+/// * when one interaction group's arrival targets a site another
+///   interaction group departs from (a cross-group vacate dependency — only
+///   possible on near-full grids where the router had to reuse a
+///   still-occupied site), reordering could land the arrival before the
+///   departure, so the dwell-time order is kept as-is;
+/// * otherwise both packings are costed and the cheaper one wins (the
+///   dwell-time order on ties, keeping its storage-residency benefit) —
+///   per-class longest-first chunking minimizes the sum of window maxima
+///   within each class, but the class boundary window can occasionally
+///   align better in the unsorted order.
+///
+/// With a single AOD there is no window to balance, so the result always
+/// equals [`pack_move_groups`] on the greedy order.
+#[must_use]
+pub fn pack_move_groups_balanced(
+    storage_groups: Vec<Vec<SiteMove>>,
+    interaction_groups: Vec<Vec<SiteMove>>,
+    arch: &Architecture,
+) -> Vec<Instruction> {
+    let num_aods = arch.num_aods().max(1);
+    let chunked = {
+        let mut ordered = order_coll_moves(storage_groups.clone(), arch);
+        ordered.extend(order_coll_moves(interaction_groups.clone(), arch));
+        pack_move_groups(ordered, num_aods)
+    };
+    if num_aods == 1 || has_cross_group_vacate_dependency(&interaction_groups) {
+        return chunked;
+    }
+    let longest_first = |groups: Vec<Vec<SiteMove>>| {
+        // Start from the dwell-time order so equal-length groups keep their
+        // storage-priority ranking, then sort by the translation length that
+        // decides each window's duration.
+        let mut sorted = order_coll_moves(groups, arch);
+        sorted.sort_by(|a, b| {
+            let len = |g: &[SiteMove]| g.iter().map(|m| m.distance(arch)).fold(0.0, f64::max);
+            len(b)
+                .partial_cmp(&len(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        sorted
+    };
+    let mut all = longest_first(storage_groups);
+    all.extend(longest_first(interaction_groups));
+    let balanced = pack_move_groups(all, num_aods);
+    if movement_duration(&balanced, arch) < movement_duration(&chunked, arch) {
+        balanced
+    } else {
+        chunked
+    }
+}
+
+/// Returns `true` if any interaction group arrives at a site that a
+/// *different* interaction group departs from. Same-group pairs are fine —
+/// the hardware applies a window's moves simultaneously — but cross-group
+/// pairs pin the departure to a same-or-earlier window, which only the
+/// original dwell-time order guarantees.
+fn has_cross_group_vacate_dependency(groups: &[Vec<SiteMove>]) -> bool {
+    groups.iter().enumerate().any(|(i, group)| {
+        group.iter().any(|arrival| {
+            groups
+                .iter()
+                .enumerate()
+                .any(|(j, other)| i != j && other.iter().any(|m| m.from == arrival.to))
+        })
+    })
+}
+
+/// Total wall clock of a packed instruction sequence's move groups.
+fn movement_duration(instructions: &[Instruction], arch: &Architecture) -> f64 {
+    instructions
+        .iter()
+        .map(|i| match i {
+            Instruction::MoveGroup { coll_moves } => {
+                powermove_schedule::move_group_duration(coll_moves, arch)
+            }
+            _ => 0.0,
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +250,148 @@ mod tests {
     fn empty_groups_produce_no_instructions() {
         assert!(pack_move_groups(vec![], 2).is_empty());
         assert!(order_coll_moves(vec![], &arch()).is_empty());
+        assert!(pack_move_groups_balanced(vec![], vec![], &arch()).is_empty());
+    }
+
+    #[test]
+    fn balanced_packing_groups_similar_durations_together() {
+        let a = arch().with_num_aods(2);
+        let g = a.grid();
+        // Two long moves (2 rows) and two short moves (1 row), interleaved
+        // in dwell order. Chunked packing pairs long+short twice; balanced
+        // packing pairs long+long and short+short, cutting the total
+        // translation time.
+        let long = |qi: u32, col: u32| {
+            vec![SiteMove::new(
+                q(qi),
+                g.site(Zone::Compute, col, 2).unwrap(),
+                g.site(Zone::Compute, col, 0).unwrap(),
+            )]
+        };
+        let short = |qi: u32, col: u32| {
+            vec![SiteMove::new(
+                q(qi),
+                g.site(Zone::Compute, col, 1).unwrap(),
+                g.site(Zone::Compute, col, 0).unwrap(),
+            )]
+        };
+        let groups = vec![long(0, 0), short(1, 1), long(2, 2), short(3, 0)];
+        let chunked = pack_move_groups(groups.clone(), 2);
+        let balanced = pack_move_groups_balanced(vec![], groups, &a);
+        assert_eq!(chunked.len(), 2);
+        assert_eq!(balanced.len(), 2);
+        assert!(
+            movement_duration(&balanced, &a) < movement_duration(&chunked, &a),
+            "balanced {:.1}us vs chunked {:.1}us",
+            movement_duration(&balanced, &a) * 1e6,
+            movement_duration(&chunked, &a) * 1e6
+        );
+    }
+
+    #[test]
+    fn balanced_packing_keeps_storage_groups_no_later_than_interactions() {
+        let a = arch().with_num_aods(2);
+        let storage = vec![
+            vec![storage_move(&a, 0)],
+            vec![storage_move(&a, 1)],
+            vec![storage_move(&a, 2)],
+        ];
+        let interaction = vec![vec![retrieval_move(&a, 3)], vec![retrieval_move(&a, 4)]];
+        let packed = pack_move_groups_balanced(storage, interaction, &a);
+        // 5 groups on 2 AODs -> 3 windows; every storage move sits in the
+        // same-or-earlier window as every interaction move.
+        assert_eq!(packed.len(), 3);
+        let grid = a.grid();
+        let mut last_storage_window = 0;
+        let mut first_interaction_window = usize::MAX;
+        for (w, instr) in packed.iter().enumerate() {
+            if let Instruction::MoveGroup { coll_moves } = instr {
+                for cm in coll_moves {
+                    for m in &cm.moves {
+                        if grid.zone_of(m.to) == Zone::Storage {
+                            last_storage_window = last_storage_window.max(w);
+                        } else {
+                            first_interaction_window = first_interaction_window.min(w);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(last_storage_window <= first_interaction_window);
+    }
+
+    #[test]
+    fn cross_group_vacate_dependencies_force_the_dwell_order() {
+        let a = arch().with_num_aods(2);
+        let g = a.grid();
+        // Group 1 vacates compute (0,0) with a short move; group 2's long
+        // move arrives at (0,0). Longest-first would flip them into earlier
+        // windows, so the packing must keep the dwell order instead.
+        let vacate = vec![SiteMove::new(
+            q(0),
+            g.site(Zone::Compute, 0, 0).unwrap(),
+            g.site(Zone::Compute, 1, 0).unwrap(),
+        )];
+        let arrive = vec![SiteMove::new(
+            q(1),
+            g.site(Zone::Compute, 2, 2).unwrap(),
+            g.site(Zone::Compute, 0, 0).unwrap(),
+        )];
+        let groups = vec![vacate.clone(), arrive.clone()];
+        assert!(has_cross_group_vacate_dependency(&groups));
+        let packed = pack_move_groups_balanced(vec![], groups.clone(), &a);
+        let ordered = order_coll_moves(groups, &a);
+        assert_eq!(packed, pack_move_groups(ordered, 2));
+        // Same-group arrive/vacate pairs are applied simultaneously and do
+        // not count as a dependency.
+        let merged = vec![vec![vacate[0], arrive[0]]];
+        assert!(!has_cross_group_vacate_dependency(&merged));
+    }
+
+    #[test]
+    fn balanced_packing_never_exceeds_the_chunked_duration() {
+        // The review counterexample shape: storage lengths ~[long, short,
+        // short], interaction ~[long, long] at width 2 — the dwell order's
+        // boundary window happens to align better than the sorted order, so
+        // the cheaper (chunked) packing must win.
+        let a = arch().with_num_aods(2);
+        let g = a.grid();
+        let down = |qi: u32, col: u32, rows: u32| {
+            vec![SiteMove::new(
+                q(qi),
+                g.site(Zone::Compute, col, rows).unwrap(),
+                g.site(Zone::Storage, col, 0).unwrap(),
+            )]
+        };
+        let up = |qi: u32, col: u32, rows: u32| {
+            vec![SiteMove::new(
+                q(qi),
+                g.site(Zone::Storage, col, 0).unwrap(),
+                g.site(Zone::Compute, col, rows).unwrap(),
+            )]
+        };
+        let storage = vec![down(0, 0, 2), down(1, 1, 0), down(2, 2, 0)];
+        let interaction = vec![up(3, 0, 1), up(4, 1, 1)];
+        let balanced = pack_move_groups_balanced(storage.clone(), interaction.clone(), &a);
+        let chunked = {
+            let mut ordered = order_coll_moves(storage, &a);
+            ordered.extend(order_coll_moves(interaction, &a));
+            pack_move_groups(ordered, 2)
+        };
+        assert!(
+            movement_duration(&balanced, &a) <= movement_duration(&chunked, &a) + 1e-15,
+            "balanced packing must never be slower than the greedy chunking"
+        );
+    }
+
+    #[test]
+    fn balanced_packing_on_one_aod_keeps_the_dwell_order() {
+        let a = arch();
+        let storage = vec![vec![storage_move(&a, 0)]];
+        let interaction = vec![vec![retrieval_move(&a, 1)], vec![lateral_move(&a, 2)]];
+        let balanced = pack_move_groups_balanced(storage.clone(), interaction.clone(), &a);
+        let mut ordered = order_coll_moves(storage, &a);
+        ordered.extend(order_coll_moves(interaction, &a));
+        assert_eq!(balanced, pack_move_groups(ordered, 1));
     }
 }

@@ -3,11 +3,14 @@
 use crate::pipeline::{
     CompileContext, CompilerBackend, MovePass, RoutePass, StagePass, SynthesisPass,
 };
+use crate::routing::RoutingStrategy;
 use crate::{CompileError, CompilerConfig};
 use powermove_circuit::{BlockProgram, Circuit};
 use powermove_exec::{Parallelism, ThreadPool};
 use powermove_hardware::Architecture;
 use powermove_schedule::CompiledProgram;
+use std::fmt;
+use std::sync::Arc;
 
 /// The PowerMove compiler.
 ///
@@ -55,22 +58,67 @@ use powermove_schedule::CompiledProgram;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct PowerMoveCompiler {
     config: CompilerConfig,
+    strategy: Option<Arc<dyn RoutingStrategy>>,
+}
+
+impl fmt::Debug for PowerMoveCompiler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PowerMoveCompiler")
+            .field("config", &self.config)
+            .field("strategy", &self.routing_strategy().name())
+            .finish()
+    }
 }
 
 impl PowerMoveCompiler {
     /// Creates a compiler with the given configuration.
     #[must_use]
     pub fn new(config: CompilerConfig) -> Self {
-        PowerMoveCompiler { config }
+        PowerMoveCompiler {
+            config,
+            strategy: None,
+        }
     }
 
     /// The compiler configuration.
     #[must_use]
     pub fn config(&self) -> &CompilerConfig {
         &self.config
+    }
+
+    /// Registers a custom routing strategy, overriding
+    /// [`CompilerConfig::routing`](crate::CompilerConfig).
+    ///
+    /// This is the open end of the routing subsystem: any
+    /// [`RoutingStrategy`] implementation drives [`RoutePass`] and
+    /// [`MovePass`] exactly like the built-ins.
+    ///
+    /// ```
+    /// use powermove::{
+    ///     CompilerConfig, LookaheadRouter, PowerMoveCompiler,
+    /// };
+    /// use std::sync::Arc;
+    ///
+    /// let compiler = PowerMoveCompiler::new(CompilerConfig::default())
+    ///     .with_strategy(Arc::new(LookaheadRouter::new(3)));
+    /// assert_eq!(compiler.routing_strategy().name(), "lookahead");
+    /// ```
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Arc<dyn RoutingStrategy>) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// The active routing strategy: the registered override, or the one
+    /// built from [`CompilerConfig::routing`](crate::CompilerConfig).
+    #[must_use]
+    pub fn routing_strategy(&self) -> Arc<dyn RoutingStrategy> {
+        self.strategy
+            .clone()
+            .unwrap_or_else(|| self.config.routing.build())
     }
 
     /// Compiles a circuit for the given architecture.
@@ -119,12 +167,21 @@ impl PowerMoveCompiler {
         // pass drains, and `threads == 1` (or `POWERMOVE_THREADS=1`) runs
         // the passes inline with byte-identical output.
         let pool = ThreadPool::new(Parallelism::from_setting(self.config.threads));
+        let strategy = self.routing_strategy();
         let staged = StagePass::new(self.config.alpha).run(block_program, &pool, &mut ctx);
-        let routed = RoutePass::new(self.config.use_storage).run(&staged, arch, &mut ctx)?;
-        let instructions =
-            MovePass::new(self.config.use_grouping).run(&routed, arch, &pool, &mut ctx);
+        let routed = RoutePass::new(self.config.use_storage)
+            .with_strategy(strategy.clone())
+            .run(&staged, arch, &mut ctx)?;
+        let instructions = MovePass::new(self.config.use_grouping)
+            .with_strategy(strategy)
+            .run(&routed, arch, &pool, &mut ctx);
 
-        let metadata = ctx.finish("powermove", self.config.use_storage, staged.num_stages());
+        let metadata = ctx.finish(
+            "powermove",
+            self.config.use_storage,
+            staged.num_stages(),
+            arch.num_aods(),
+        );
         Ok(CompiledProgram::new(
             arch.clone(),
             routed.num_qubits(),
@@ -142,8 +199,11 @@ impl CompilerBackend for PowerMoveCompiler {
 
     fn config_description(&self) -> String {
         format!(
-            "storage={}, alpha={}, grouping={}",
-            self.config.use_storage, self.config.alpha, self.config.use_grouping
+            "storage={}, alpha={}, grouping={}, routing={}",
+            self.config.use_storage,
+            self.config.alpha,
+            self.config.use_grouping,
+            self.routing_strategy().name()
         )
     }
 
@@ -229,6 +289,67 @@ mod tests {
         let p = compile(&c, true, 1);
         assert_eq!(p.one_qubit_gate_count(), 8);
         assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn routing_variants_compile_valid_programs_with_identical_gates() {
+        use crate::RoutingConfig;
+        let circuit = ring_circuit(12);
+        let arch = Architecture::for_qubits(12).with_num_aods(3);
+        let greedy = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&circuit, &arch)
+            .unwrap();
+        for routing in [RoutingConfig::lookahead(2), RoutingConfig::multi_aod()] {
+            let variant = PowerMoveCompiler::new(CompilerConfig::default().with_routing(routing))
+                .compile(&circuit, &arch)
+                .unwrap();
+            assert!(validate(&variant).is_ok());
+            assert_eq!(variant.cz_gate_count(), greedy.cz_gate_count());
+            assert_eq!(variant.metadata().num_aods, 3);
+        }
+    }
+
+    #[test]
+    fn multi_aod_scheduler_cuts_execution_time_at_two_plus_aods() {
+        use crate::RoutingConfig;
+        let circuit = ring_circuit(16);
+        let arch = Architecture::for_qubits(16).with_num_aods(3);
+        let greedy = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&circuit, &arch)
+            .unwrap();
+        let multi = PowerMoveCompiler::new(
+            CompilerConfig::default().with_routing(RoutingConfig::multi_aod()),
+        )
+        .compile(&circuit, &arch)
+        .unwrap();
+        let t = |p: &CompiledProgram| evaluate_program(p).unwrap().execution_time;
+        assert!(
+            t(&multi) <= t(&greedy),
+            "balanced windows must not lengthen the schedule"
+        );
+    }
+
+    #[test]
+    fn custom_strategy_overrides_the_config() {
+        use crate::LookaheadRouter;
+        use std::sync::Arc;
+        let compiler = PowerMoveCompiler::new(CompilerConfig::default())
+            .with_strategy(Arc::new(LookaheadRouter::new(1)));
+        assert_eq!(compiler.routing_strategy().name(), "lookahead");
+        let program = compiler
+            .compile(&ring_circuit(8), &Architecture::for_qubits(8))
+            .unwrap();
+        assert!(validate(&program).is_ok());
+        let debug = format!("{compiler:?}");
+        assert!(debug.contains("lookahead"));
+    }
+
+    #[test]
+    fn metadata_records_the_resolved_aod_count() {
+        let p = compile(&ring_circuit(8), true, 3);
+        assert_eq!(p.metadata().num_aods, 3);
+        let p = compile(&ring_circuit(8), true, 1);
+        assert_eq!(p.metadata().num_aods, 1);
     }
 
     #[test]

@@ -2,6 +2,91 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Selects one of the built-in routing strategies.
+///
+/// The strategy is instantiated per compilation through
+/// [`RoutingConfig::build`](crate::routing::RoutingStrategy); custom
+/// implementations bypass the enum entirely via
+/// [`PowerMoveCompiler::with_strategy`](crate::PowerMoveCompiler::with_strategy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingStrategyKind {
+    /// The paper's continuous router with dwell-ordered chunked packing
+    /// ([`GreedyRouter`](crate::GreedyRouter)); byte-identical to the
+    /// pre-refactor compiler.
+    Greedy,
+    /// Greedy planning, but undecided pairs score candidate sites against
+    /// the next [`RoutingConfig::lookahead`] stages
+    /// ([`LookaheadRouter`](crate::LookaheadRouter)).
+    Lookahead,
+    /// Greedy planning with per-AOD, duration-balanced move windows
+    /// ([`MultiAodScheduler`](crate::MultiAodScheduler)).
+    MultiAod,
+}
+
+/// How the multi-AOD scheduler assigns collective moves to parallel
+/// windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AodAssignment {
+    /// Chunk the dwell-time order as-is (the greedy packing of Sec. 6.2).
+    Chunked,
+    /// Sort each move class by translation length before chunking, so
+    /// similar-duration moves share a window and no AOD idles behind one
+    /// slow member.
+    Balanced,
+}
+
+/// Configuration of the routing subsystem: which strategy plans stage
+/// transitions and how collective moves are packed onto AOD arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// The active routing strategy.
+    pub strategy: RoutingStrategyKind,
+    /// Lookahead window in stages, used by
+    /// [`RoutingStrategyKind::Lookahead`].
+    pub lookahead: usize,
+    /// Window-assignment policy, used by
+    /// [`RoutingStrategyKind::MultiAod`].
+    pub aod_assignment: AodAssignment,
+}
+
+impl RoutingConfig {
+    /// The greedy configuration (the default).
+    #[must_use]
+    pub fn greedy() -> Self {
+        Self::default()
+    }
+
+    /// The lookahead configuration with a `depth`-stage window.
+    #[must_use]
+    pub fn lookahead(depth: usize) -> Self {
+        RoutingConfig {
+            strategy: RoutingStrategyKind::Lookahead,
+            lookahead: depth,
+            ..Self::default()
+        }
+    }
+
+    /// The multi-AOD scheduler with duration-balanced windows.
+    #[must_use]
+    pub fn multi_aod() -> Self {
+        RoutingConfig {
+            strategy: RoutingStrategyKind::MultiAod,
+            aod_assignment: AodAssignment::Balanced,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        RoutingConfig {
+            strategy: RoutingStrategyKind::Greedy,
+            lookahead: 2,
+            aod_assignment: AodAssignment::Chunked,
+        }
+    }
+}
+
 /// Configuration knobs of the PowerMove compiler.
 ///
 /// The two evaluation scenarios of the paper map onto this struct directly:
@@ -27,6 +112,10 @@ pub struct CompilerConfig {
     /// is byte-identical for every setting — parallelism only changes how
     /// fast independent blocks are processed.
     pub threads: usize,
+    /// The routing subsystem configuration: which strategy plans stage
+    /// transitions and how moves are packed onto AOD arrays. The default
+    /// ([`RoutingConfig::greedy`]) reproduces the paper's router exactly.
+    pub routing: RoutingConfig,
 }
 
 impl CompilerConfig {
@@ -69,6 +158,13 @@ impl CompilerConfig {
         self.threads = threads;
         self
     }
+
+    /// Replaces the routing subsystem configuration.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingConfig) -> Self {
+        self.routing = routing;
+        self
+    }
 }
 
 impl Default for CompilerConfig {
@@ -78,6 +174,7 @@ impl Default for CompilerConfig {
             alpha: 0.5,
             use_grouping: true,
             threads: 0,
+            routing: RoutingConfig::default(),
         }
     }
 }
@@ -121,5 +218,19 @@ mod tests {
         let c = CompilerConfig::default().without_grouping();
         assert!(!c.use_grouping);
         assert!(c.use_storage, "grouping ablation leaves storage on");
+    }
+
+    #[test]
+    fn routing_defaults_to_greedy_and_can_be_replaced() {
+        let c = CompilerConfig::default();
+        assert_eq!(c.routing.strategy, RoutingStrategyKind::Greedy);
+        assert_eq!(c.routing, RoutingConfig::greedy());
+        let c = c.with_routing(RoutingConfig::multi_aod());
+        assert_eq!(c.routing.strategy, RoutingStrategyKind::MultiAod);
+        assert_eq!(c.routing.aod_assignment, AodAssignment::Balanced);
+        assert!(c.use_storage, "routing override leaves other knobs alone");
+        let c = c.with_routing(RoutingConfig::lookahead(4));
+        assert_eq!(c.routing.strategy, RoutingStrategyKind::Lookahead);
+        assert_eq!(c.routing.lookahead, 4);
     }
 }

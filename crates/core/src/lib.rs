@@ -10,13 +10,18 @@
 //!   into Rydberg stages via optimized edge colouring
 //!   ([`partition_stages`]) and orders the stages to minimize inter-zone
 //!   qubit interchange ([`schedule_stages`]);
-//! * the **continuous router** (Sec. 5): decides the single-qubit movements
-//!   that transition the current layout *directly* into the next stage's
-//!   layout — no reversion to an initial layout — and groups them into
-//!   AOD-compatible collective moves ([`Router`], [`group_moves`]);
+//! * the **routing subsystem** ([`routing`]): a pluggable
+//!   [`RoutingStrategy`] decides the single-qubit movements that transition
+//!   the current layout *directly* into the next stage's layout — no
+//!   reversion to an initial layout — and groups them into AOD-compatible
+//!   collective moves ([`RoutingState`], [`group_moves`]). Built-ins:
+//!   the paper's [`GreedyRouter`] (Sec. 5), a [`LookaheadRouter`] scoring
+//!   sites against upcoming stages, and a [`MultiAodScheduler`] that
+//!   balances move windows across the machine's AOD arrays;
 //! * the **coll-move scheduler** (Sec. 6): orders collective moves to
 //!   maximize storage-zone dwell time and packs them onto multiple AOD
-//!   arrays ([`order_coll_moves`], [`pack_move_groups`]).
+//!   arrays ([`order_coll_moves`], [`pack_move_groups`],
+//!   [`pack_move_groups_balanced`]).
 //!
 //! [`PowerMoveCompiler`] ties the components together as an explicit pass
 //! pipeline ([`pipeline`]: [`SynthesisPass`] → [`StagePass`] → [`RoutePass`]
@@ -59,21 +64,24 @@ mod config;
 mod error;
 mod grouping;
 pub mod pipeline;
-mod router;
+pub mod routing;
 mod stage_partition;
 mod stage_schedule;
 mod stats;
 
-pub use collmove::{order_coll_moves, pack_move_groups};
+pub use collmove::{order_coll_moves, pack_move_groups, pack_move_groups_balanced};
 pub use compiler::PowerMoveCompiler;
-pub use config::CompilerConfig;
+pub use config::{AodAssignment, CompilerConfig, RoutingConfig, RoutingStrategyKind};
 pub use error::CompileError;
 pub use grouping::group_moves;
 pub use pipeline::{
     CompileContext, CompilerBackend, MovePass, RoutePass, RoutedProgram, RoutedSegment,
     RoutedStage, StagePass, StagedProgram, StagedSegment, SynthesisPass,
 };
-pub use router::{Router, StageRouting};
+pub use routing::{
+    greedy_move_schedule, group_stage_moves, GreedyRouter, LookaheadRouter, MultiAodScheduler,
+    RoutingState, RoutingStrategy, SiteBias, StageRouting,
+};
 pub use stage_partition::{partition_stages, Stage};
 pub use stage_schedule::schedule_stages;
 pub use stats::CompilationSummary;

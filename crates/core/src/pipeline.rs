@@ -32,16 +32,16 @@
 //! [`PowerMoveCompiler`](crate::PowerMoveCompiler) and the Enola baseline —
 //! no harness changes required.
 
-use crate::{
-    group_moves, order_coll_moves, pack_move_groups, partition_stages, schedule_stages,
-    CompileError, Router, Stage, StageRouting,
-};
+use crate::routing::{GreedyRouter, RoutingState, RoutingStrategy, StageRouting};
+use crate::{partition_stages, schedule_stages, CompileError, Stage};
 use powermove_circuit::{BlockProgram, Circuit, OneQubitGate, Qubit, Segment};
 use powermove_exec::ThreadPool;
 use powermove_hardware::{Architecture, Zone};
 use powermove_schedule::{
     CompileMetadata, CompiledProgram, Instruction, Layout, PassCounter, PassTiming,
 };
+use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A compiler that lowers block programs onto a neutral-atom machine.
@@ -221,14 +221,23 @@ impl CompileContext {
         &self.counters
     }
 
-    /// Folds the context into program metadata, closing the end-to-end clock.
+    /// Folds the context into program metadata, closing the end-to-end
+    /// clock. `num_aods` records the resolved AOD-array count the schedule
+    /// was packed for, so bench reports can attribute multi-AOD results.
     #[must_use]
-    pub fn finish(self, compiler: &str, uses_storage: bool, num_stages: usize) -> CompileMetadata {
+    pub fn finish(
+        self,
+        compiler: &str,
+        uses_storage: bool,
+        num_stages: usize,
+        num_aods: usize,
+    ) -> CompileMetadata {
         CompileMetadata {
             compiler: compiler.to_string(),
             compile_time: self.started.map(|s| s.elapsed().as_secs_f64()),
             uses_storage,
             num_stages,
+            num_aods,
             pass_timings: self.timings,
             counters: self.counters,
         }
@@ -442,25 +451,50 @@ impl RoutedProgram {
     }
 }
 
-/// Pass 3: runs the continuous router over every stage, producing the direct
-/// layout transitions (no reversion to an initial layout, Sec. 5).
+/// Pass 3: runs the configured [`RoutingStrategy`] over every stage,
+/// producing the direct layout transitions (no reversion to an initial
+/// layout, Sec. 5).
 ///
-/// This pass is inherently sequential: the router threads one mutable
-/// layout through the stage sequence, so each transition depends on the one
-/// before it. Parallelism lives in the neighbouring passes instead.
-#[derive(Debug, Clone, Copy)]
+/// This pass is inherently sequential: the strategy threads one mutable
+/// [`RoutingState`] through the stage sequence, so each transition depends
+/// on the one before it. Parallelism lives in the neighbouring passes
+/// instead. Strategies that declare a lookahead window
+/// ([`RoutingStrategy::lookahead`]) are handed the next stages of the same
+/// commuting CZ block alongside each stage.
+#[derive(Clone)]
 pub struct RoutePass {
     use_storage: bool,
+    strategy: Arc<dyn RoutingStrategy>,
+}
+
+impl fmt::Debug for RoutePass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RoutePass")
+            .field("use_storage", &self.use_storage)
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
 }
 
 impl RoutePass {
     /// Name under which the pass reports its timing.
     pub const NAME: &'static str = "route";
 
-    /// Creates the pass; `use_storage` parks idle qubits in the storage zone.
+    /// Creates the pass with the greedy strategy; `use_storage` parks idle
+    /// qubits in the storage zone.
     #[must_use]
     pub fn new(use_storage: bool) -> Self {
-        RoutePass { use_storage }
+        RoutePass {
+            use_storage,
+            strategy: Arc::new(GreedyRouter),
+        }
+    }
+
+    /// Replaces the routing strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Arc<dyn RoutingStrategy>) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Runs the pass.
@@ -496,7 +530,8 @@ impl RoutePass {
                 })?;
             let uses_storage = self.use_storage && initial_zone == Zone::Storage;
 
-            let mut router = Router::new(arch.clone(), initial_layout.clone(), uses_storage);
+            let mut state = RoutingState::new(arch.clone(), initial_layout.clone(), uses_storage);
+            let lookahead = self.strategy.lookahead();
             let mut segments = Vec::with_capacity(staged.segments().len());
             for segment in staged.segments() {
                 match segment {
@@ -504,8 +539,10 @@ impl RoutePass {
                         segments.push(RoutedSegment::OneQubit(gates.clone()));
                     }
                     StagedSegment::Stages(stages) => {
-                        for stage in stages {
-                            let routing = router.route_stage(stage)?;
+                        for (i, stage) in stages.iter().enumerate() {
+                            let window_end = (i + 1).saturating_add(lookahead).min(stages.len());
+                            let upcoming = &stages[i + 1..window_end];
+                            let routing = self.strategy.route_stage(&mut state, stage, upcoming)?;
                             ctx.count("storage_moves", routing.storage_moves.len() as u64);
                             ctx.count("interaction_moves", routing.interaction_moves.len() as u64);
                             segments.push(RoutedSegment::Stage(RoutedStage {
@@ -526,28 +563,52 @@ impl RoutePass {
     }
 }
 
-/// Pass 4: groups each stage's single-qubit moves into AOD-compatible
-/// collective moves, orders them for maximum storage dwell time, packs them
-/// onto the available AOD arrays (Sec. 6), and emits the instruction stream.
+/// Pass 4: lowers each stage's movement plan into move-group instructions
+/// through the configured [`RoutingStrategy::schedule_moves`] — grouping
+/// single-qubit moves into AOD-compatible collective moves and packing them
+/// onto the available AOD arrays (Sec. 6) — and emits the instruction
+/// stream.
 ///
-/// The grouping/ordering/packing of one stage depends only on that stage's
-/// routing plan, so the pass fans the routed segments out over the given
-/// [`ThreadPool`] and concatenates the per-segment instruction runs in
-/// program order — identical output for every worker count.
-#[derive(Debug, Clone, Copy)]
+/// The scheduling of one stage depends only on that stage's routing plan,
+/// so the pass fans the routed segments out over the given [`ThreadPool`]
+/// and concatenates the per-segment instruction runs in program order —
+/// identical output for every worker count.
+#[derive(Clone)]
 pub struct MovePass {
     use_grouping: bool,
+    strategy: Arc<dyn RoutingStrategy>,
+}
+
+impl fmt::Debug for MovePass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MovePass")
+            .field("use_grouping", &self.use_grouping)
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
 }
 
 impl MovePass {
     /// Name under which the pass reports its timing.
     pub const NAME: &'static str = "moves";
 
-    /// Creates the pass; disabling `use_grouping` emits every single-qubit
-    /// move as its own collective move (the grouping-ablation configuration).
+    /// Creates the pass with the greedy strategy; disabling `use_grouping`
+    /// emits every single-qubit move as its own collective move (the
+    /// grouping-ablation configuration).
     #[must_use]
     pub fn new(use_grouping: bool) -> Self {
-        MovePass { use_grouping }
+        MovePass {
+            use_grouping,
+            strategy: Arc::new(GreedyRouter),
+        }
+    }
+
+    /// Replaces the routing strategy whose
+    /// [`RoutingStrategy::schedule_moves`] lowers each stage.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Arc<dyn RoutingStrategy>) -> Self {
+        self.strategy = strategy;
+        self
     }
 
     /// Runs the pass, emitting the final instruction stream. Independent
@@ -568,19 +629,22 @@ impl MovePass {
                 }
                 RoutedSegment::Stage(RoutedStage { stage, routing }) => {
                     worker.time(Self::NAME, |worker| {
-                        // Storage-bound (and separation) moves are grouped and
-                        // emitted strictly before the interaction moves: this
-                        // realizes the move-in-first policy of Sec. 6.1 and
-                        // guarantees that a site vacated towards storage is
-                        // free before an interaction arrives at it.
-                        let mut ordered =
-                            order_coll_moves(self.group(&routing.storage_moves, arch), arch);
-                        ordered.extend(order_coll_moves(
-                            self.group(&routing.interaction_moves, arch),
-                            arch,
-                        ));
-                        worker.count("coll_moves", ordered.len() as u64);
-                        let mut packed = pack_move_groups(ordered, arch.num_aods());
+                        // The strategy decides grouping, ordering and AOD
+                        // packing; the greedy default realizes the
+                        // move-in-first policy of Sec. 6.1 (storage-bound
+                        // moves strictly before interactions, so a vacated
+                        // site is free before an interaction arrives).
+                        let mut packed =
+                            self.strategy
+                                .schedule_moves(routing, arch, self.use_grouping);
+                        let coll_moves: usize = packed
+                            .iter()
+                            .map(|i| match i {
+                                Instruction::MoveGroup { coll_moves } => coll_moves.len(),
+                                _ => 0,
+                            })
+                            .sum();
+                        worker.count("coll_moves", coll_moves as u64);
                         worker.count("move_groups", packed.len() as u64);
                         packed.push(Instruction::rydberg(stage.gates().to_vec()));
                         packed
@@ -589,18 +653,6 @@ impl MovePass {
             }
         });
         runs.into_iter().flatten().collect()
-    }
-
-    fn group(
-        &self,
-        moves: &[powermove_schedule::SiteMove],
-        arch: &Architecture,
-    ) -> Vec<Vec<powermove_schedule::SiteMove>> {
-        if self.use_grouping {
-            group_moves(moves, arch)
-        } else {
-            moves.iter().map(|m| vec![*m]).collect()
-        }
     }
 }
 
@@ -641,7 +693,7 @@ mod tests {
         ctx.time("route", |_| ());
         assert_eq!(ctx.timings().len(), 2);
         assert!(ctx.timings()[0].seconds >= 0.002);
-        let metadata = ctx.finish("powermove", true, 3);
+        let metadata = ctx.finish("powermove", true, 3, 1);
         assert_eq!(metadata.num_stages, 3);
         assert!(metadata.pass_seconds("stage").unwrap() >= 0.002);
         assert!(metadata.compile_time.unwrap() >= metadata.total_pass_seconds());
@@ -653,7 +705,7 @@ mod tests {
         ctx.count("stages", 2);
         ctx.count("stages", 3);
         ctx.count("coll_moves", 1);
-        let metadata = ctx.finish("x", false, 0);
+        let metadata = ctx.finish("x", false, 0, 1);
         assert_eq!(metadata.counter("stages"), Some(5));
         assert_eq!(metadata.counter("coll_moves"), Some(1));
         assert_eq!(metadata.counter("missing"), None);
@@ -826,7 +878,7 @@ mod tests {
         main.merge(worker_a);
         main.merge(worker_b);
 
-        let metadata = main.finish("x", false, 0);
+        let metadata = main.finish("x", false, 0, 1);
         assert_eq!(metadata.counter("stages"), Some(5));
         assert_eq!(metadata.counter("coll_moves"), Some(7));
         assert!(metadata.pass_seconds("stage").unwrap() >= 0.001);
@@ -840,7 +892,7 @@ mod tests {
     #[test]
     fn scratch_context_has_no_end_to_end_clock() {
         let ctx = CompileContext::scratch();
-        let metadata = ctx.finish("x", false, 0);
+        let metadata = ctx.finish("x", false, 0, 1);
         assert!(metadata.compile_time.is_none());
     }
 

@@ -1,0 +1,162 @@
+//! The lookahead routing strategy: undecided pairs are placed where the
+//! next few stages will want them.
+
+use crate::routing::{RoutingState, RoutingStrategy, StageRouting};
+use crate::{CompileError, Stage};
+use powermove_circuit::Qubit;
+use powermove_hardware::Point;
+use std::collections::BTreeMap;
+
+/// Geometric discount applied per stage of lookahead: a partner `j` stages
+/// ahead contributes `DISCOUNT^j` of its distance to the candidate site.
+const DISCOUNT: f64 = 0.5;
+
+/// A routing strategy that scores candidate interaction sites against the
+/// next `depth` stages of the same CZ block.
+///
+/// The greedy router resolves an undecided pair at the free site nearest to
+/// its anchor, which can drag a qubit away from the partner it meets two
+/// stages later. The lookahead router adds, to each candidate site's score,
+/// the discounted distances from the site to the *current* positions of
+/// every future partner of the pair's qubits — so a pair that re-pairs soon
+/// is parked in between its future partners instead of strictly nearest to
+/// its anchor. Stage planning is otherwise identical to the greedy router
+/// (`depth == 0` reproduces it exactly), and move scheduling uses the
+/// default dwell-time-ordered packing.
+#[derive(Debug, Clone, Copy)]
+pub struct LookaheadRouter {
+    depth: usize,
+}
+
+impl LookaheadRouter {
+    /// Creates the strategy with the given lookahead window (in stages).
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        LookaheadRouter { depth }
+    }
+
+    /// The lookahead window in stages.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+impl RoutingStrategy for LookaheadRouter {
+    fn name(&self) -> &str {
+        "lookahead"
+    }
+
+    fn lookahead(&self) -> usize {
+        self.depth
+    }
+
+    fn route_stage(
+        &self,
+        state: &mut RoutingState,
+        stage: &Stage,
+        upcoming: &[Stage],
+    ) -> Result<StageRouting, CompileError> {
+        // Future partners of every qubit, weighted by how soon the pairing
+        // happens. Positions are the partners' *current* sites — a cheap,
+        // deterministic estimate of where stage j's layout will want them.
+        let grid = state.architecture().grid().clone();
+        let mut attractors: BTreeMap<Qubit, Vec<(f64, Point)>> = BTreeMap::new();
+        for (j, future) in upcoming.iter().take(self.depth).enumerate() {
+            let weight = DISCOUNT.powi(j as i32 + 1);
+            for gate in future.gates() {
+                for (q, partner) in [(gate.lo(), gate.hi()), (gate.hi(), gate.lo())] {
+                    if let Some(site) = state.layout().site_of(partner) {
+                        attractors
+                            .entry(q)
+                            .or_default()
+                            .push((weight, grid.position(site)));
+                    }
+                }
+            }
+        }
+        state.route_stage_scored(stage, &|anchor, mobile, site| {
+            let pos = grid.position(site);
+            [anchor, mobile]
+                .iter()
+                .filter_map(|q| attractors.get(q))
+                .flatten()
+                .map(|(weight, partner)| weight * pos.distance(*partner))
+                .sum()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::CzGate;
+    use powermove_hardware::{Architecture, Zone};
+    use powermove_schedule::Layout;
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn stage(edges: &[(u32, u32)]) -> Stage {
+        Stage::new(
+            edges
+                .iter()
+                .map(|&(a, b)| CzGate::new(q(a), q(b)))
+                .collect(),
+        )
+    }
+
+    fn state(n: u32) -> RoutingState {
+        let arch = Architecture::for_qubits(n);
+        let layout = Layout::row_major(&arch, n, Zone::Storage).unwrap();
+        RoutingState::new(arch, layout, true)
+    }
+
+    #[test]
+    fn zero_depth_matches_the_greedy_router() {
+        let stages = [
+            stage(&[(0, 1), (2, 3), (4, 5)]),
+            stage(&[(1, 2), (3, 4)]),
+            stage(&[(0, 5)]),
+        ];
+        let lookahead = LookaheadRouter::new(0);
+        let mut a = state(6);
+        let mut b = state(6);
+        for (i, st) in stages.iter().enumerate() {
+            let upcoming = &stages[i + 1..];
+            let plan_a = lookahead.route_stage(&mut a, st, upcoming).unwrap();
+            let plan_b = b.route_stage(st).unwrap();
+            assert_eq!(plan_a, plan_b);
+        }
+    }
+
+    #[test]
+    fn every_stage_still_co_locates_its_pairs() {
+        let stages = [
+            stage(&[(0, 1), (2, 3), (4, 5), (6, 7)]),
+            stage(&[(1, 2), (3, 4), (5, 6)]),
+            stage(&[(0, 7), (2, 5)]),
+        ];
+        let lookahead = LookaheadRouter::new(2);
+        let mut s = state(8);
+        for (i, st) in stages.iter().enumerate() {
+            lookahead.route_stage(&mut s, st, &stages[i + 1..]).unwrap();
+            for gate in st.gates() {
+                assert_eq!(
+                    s.layout().site_of(gate.lo()),
+                    s.layout().site_of(gate.hi()),
+                    "pair {gate} not co-located"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_round_trips() {
+        let r = LookaheadRouter::new(3);
+        assert_eq!(r.depth(), 3);
+        assert_eq!(r.lookahead(), 3);
+        assert_eq!(r.name(), "lookahead");
+    }
+}

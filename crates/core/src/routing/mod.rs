@@ -1,0 +1,183 @@
+//! The pluggable routing subsystem.
+//!
+//! Routing — deciding *where* qubits move between Rydberg stages and *when*
+//! their collective moves fly on which AOD array — is the compiler's hottest
+//! decision layer, so it is a first-class, open surface rather than one
+//! baked-in algorithm. A [`RoutingStrategy`] is an object-safe
+//! `Send + Sync` trait (mirroring the [`CompilerBackend`] registry pattern)
+//! with two responsibilities, consumed by [`RoutePass`] and [`MovePass`]
+//! respectively:
+//!
+//! * [`RoutingStrategy::route_stage`] plans one stage transition over the
+//!   shared [`RoutingState`] (the evolving layout);
+//! * [`RoutingStrategy::schedule_moves`] lowers a stage's movement plan
+//!   into move-group instructions — per-AOD collective-move batches whose
+//!   windows overlap across distinct AODs.
+//!
+//! Three strategies ship in-tree, selected through [`RoutingConfig`]:
+//!
+//! | strategy | stage planning | move scheduling |
+//! |---|---|---|
+//! | [`GreedyRouter`] | nearest free site (Sec. 5) | dwell-ordered chunks (Sec. 6) |
+//! | [`LookaheadRouter`] | scores sites against the next *k* stages | dwell-ordered chunks |
+//! | [`MultiAodScheduler`] | greedy | duration-balanced per-AOD windows |
+//!
+//! Custom strategies drop in through
+//! [`PowerMoveCompiler::with_strategy`](crate::PowerMoveCompiler::with_strategy);
+//! everything downstream — timeline validation, the fidelity model's
+//! per-AOD attribution, the benchmark gate — consumes the strategy's output
+//! through the same instruction stream.
+//!
+//! [`CompilerBackend`]: crate::CompilerBackend
+//! [`RoutePass`]: crate::RoutePass
+//! [`MovePass`]: crate::MovePass
+
+mod greedy;
+mod lookahead;
+mod multi_aod;
+mod state;
+
+pub use greedy::GreedyRouter;
+pub use lookahead::LookaheadRouter;
+pub use multi_aod::MultiAodScheduler;
+pub use state::{RoutingState, SiteBias, StageRouting};
+
+use crate::config::{RoutingConfig, RoutingStrategyKind};
+use crate::{group_moves, order_coll_moves, pack_move_groups, CompileError, Stage};
+use powermove_hardware::Architecture;
+use powermove_schedule::{Instruction, SiteMove};
+use std::sync::Arc;
+
+/// An interchangeable routing algorithm.
+///
+/// Strategies are stateless trait objects (`&self` methods, `Send + Sync`):
+/// all mutable routing state lives in the [`RoutingState`] the pipeline
+/// threads through the stage sequence, so one strategy instance can serve
+/// concurrent compilations. The default [`RoutingStrategy::schedule_moves`]
+/// is the greedy dwell-time packing — strategies that only change stage
+/// planning (like [`LookaheadRouter`]) implement nothing else.
+pub trait RoutingStrategy: Send + Sync {
+    /// Short identifier of the strategy, e.g. `"greedy"`.
+    fn name(&self) -> &str;
+
+    /// How many upcoming stages the strategy wants to see in `upcoming`
+    /// when planning a stage. Zero (the default) for history-free
+    /// strategies.
+    fn lookahead(&self) -> usize {
+        0
+    }
+
+    /// Plans the single-qubit movements preparing `stage`, mutating the
+    /// shared routing state (layout) accordingly. `upcoming` holds the next
+    /// [`RoutingStrategy::lookahead`] stages of the same commuting CZ
+    /// block, for strategies that place qubits with future pairings in
+    /// mind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::NoFreeSite`] if a zone runs out of free
+    /// sites.
+    fn route_stage(
+        &self,
+        state: &mut RoutingState,
+        stage: &Stage,
+        upcoming: &[Stage],
+    ) -> Result<StageRouting, CompileError>;
+
+    /// Lowers one stage's movement plan into move-group instructions:
+    /// conflict-free collective moves assigned to distinct AOD arrays, at
+    /// most `arch.num_aods()` per parallel window. `use_grouping == false`
+    /// is the grouping-ablation configuration (every move flies alone).
+    fn schedule_moves(
+        &self,
+        routing: &StageRouting,
+        arch: &Architecture,
+        use_grouping: bool,
+    ) -> Vec<Instruction> {
+        greedy_move_schedule(routing, arch, use_grouping)
+    }
+}
+
+/// The default move schedule (Sec. 6): group each move class into
+/// AOD-compatible collective moves, order them for maximum storage dwell
+/// time — storage-bound groups strictly before interaction groups, so a
+/// vacated site is free before an interaction arrives — and chunk the
+/// ordered sequence onto the available AOD arrays.
+#[must_use]
+pub fn greedy_move_schedule(
+    routing: &StageRouting,
+    arch: &Architecture,
+    use_grouping: bool,
+) -> Vec<Instruction> {
+    let mut ordered = order_coll_moves(
+        group_stage_moves(&routing.storage_moves, arch, use_grouping),
+        arch,
+    );
+    ordered.extend(order_coll_moves(
+        group_stage_moves(&routing.interaction_moves, arch, use_grouping),
+        arch,
+    ));
+    pack_move_groups(ordered, arch.num_aods())
+}
+
+/// Partitions one move class into collective-move groups: conflict-aware
+/// [`group_moves`] normally, one singleton group per move under the
+/// grouping-ablation configuration.
+#[must_use]
+pub fn group_stage_moves(
+    moves: &[SiteMove],
+    arch: &Architecture,
+    use_grouping: bool,
+) -> Vec<Vec<SiteMove>> {
+    if use_grouping {
+        group_moves(moves, arch)
+    } else {
+        moves.iter().map(|m| vec![*m]).collect()
+    }
+}
+
+impl RoutingConfig {
+    /// Instantiates the configured built-in strategy.
+    #[must_use]
+    pub fn build(&self) -> Arc<dyn RoutingStrategy> {
+        match self.strategy {
+            RoutingStrategyKind::Greedy => Arc::new(GreedyRouter),
+            RoutingStrategyKind::Lookahead => Arc::new(LookaheadRouter::new(self.lookahead)),
+            RoutingStrategyKind::MultiAod => Arc::new(MultiAodScheduler::new(self.aod_assignment)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AodAssignment;
+
+    #[test]
+    fn config_builds_the_matching_strategy() {
+        assert_eq!(RoutingConfig::default().build().name(), "greedy");
+        assert_eq!(RoutingConfig::lookahead(3).build().name(), "lookahead");
+        assert_eq!(RoutingConfig::lookahead(3).build().lookahead(), 3);
+        assert_eq!(RoutingConfig::multi_aod().build().name(), "multi-aod");
+        assert_eq!(RoutingConfig::default().build().lookahead(), 0);
+        let chunked = RoutingConfig {
+            strategy: RoutingStrategyKind::MultiAod,
+            aod_assignment: AodAssignment::Chunked,
+            ..RoutingConfig::default()
+        };
+        assert_eq!(chunked.build().name(), "multi-aod");
+    }
+
+    #[test]
+    fn strategies_are_object_safe_and_shareable() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn RoutingStrategy>();
+        let strategies: Vec<Arc<dyn RoutingStrategy>> = vec![
+            Arc::new(GreedyRouter),
+            Arc::new(LookaheadRouter::new(2)),
+            Arc::new(MultiAodScheduler::default()),
+        ];
+        let names: Vec<&str> = strategies.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["greedy", "lookahead", "multi-aod"]);
+    }
+}

@@ -1,6 +1,8 @@
-//! The continuous router (Sec. 5 of the paper).
+//! The shared routing state: the evolving qubit layout plus the greedy
+//! stage-transition planner every built-in strategy builds on (Sec. 5 of the
+//! paper).
 //!
-//! Given the current qubit layout and the next Rydberg stage, the router
+//! Given the current qubit layout and the next Rydberg stage, the planner
 //! decides the single-qubit movements that transition the layout *directly*
 //! into a configuration where every CZ pair of the stage is co-located at a
 //! computation-zone site, non-interacting qubits are parked in the storage
@@ -46,20 +48,35 @@ impl StageRouting {
     }
 }
 
-/// The continuous router: owns the evolving qubit layout and produces, for
-/// each stage, the single-qubit movements of Sec. 5.2.
+/// Extra cost added to a candidate interaction site while resolving an
+/// undecided pair `(anchor, mobile)`: strategies bias the site choice by
+/// returning a positive penalty (in meters, the same unit as the distance
+/// term). The zero bias reproduces the greedy router exactly.
+pub type SiteBias<'a> = dyn Fn(Qubit, Qubit, SiteId) -> f64 + 'a;
+
+/// The mutable state a [`RoutingStrategy`](crate::RoutingStrategy) threads
+/// through the stage sequence: the target architecture, the evolving qubit
+/// layout and the storage-mode flag.
+///
+/// The state owns the full greedy transition planner
+/// ([`RoutingState::route_stage`]); strategies either call it directly
+/// (greedy, multi-AOD — which differs only in move scheduling) or bias its
+/// site decisions ([`RoutingState::route_stage_scored`], the lookahead
+/// router). Custom strategies registered through
+/// [`PowerMoveCompiler::with_strategy`](crate::PowerMoveCompiler::with_strategy)
+/// get the same entry points.
 #[derive(Debug, Clone)]
-pub struct Router {
+pub struct RoutingState {
     arch: Architecture,
     layout: Layout,
     use_storage: bool,
 }
 
-impl Router {
-    /// Creates a router starting from `initial_layout`.
+impl RoutingState {
+    /// Creates the routing state starting from `initial_layout`.
     #[must_use]
     pub fn new(arch: Architecture, initial_layout: Layout, use_storage: bool) -> Self {
-        Router {
+        RoutingState {
             arch,
             layout: initial_layout,
             use_storage,
@@ -78,8 +95,14 @@ impl Router {
         &self.arch
     }
 
-    /// Plans the single-qubit movements that prepare the given stage and
-    /// applies them to the internal layout.
+    /// Whether idle qubits are parked in the storage zone between stages.
+    #[must_use]
+    pub fn use_storage(&self) -> bool {
+        self.use_storage
+    }
+
+    /// Plans the greedy single-qubit movements that prepare the given stage
+    /// and applies them to the internal layout.
     ///
     /// The plan follows the three steps of Sec. 5.2:
     ///
@@ -96,6 +119,22 @@ impl Router {
     /// Returns [`CompileError::NoFreeSite`] if a zone runs out of free sites;
     /// this cannot happen with the paper's default grid dimensions.
     pub fn route_stage(&mut self, stage: &Stage) -> Result<StageRouting, CompileError> {
+        self.route_stage_scored(stage, &|_, _, _| 0.0)
+    }
+
+    /// Like [`RoutingState::route_stage`], but biases the step-3 resolution
+    /// of undecided pairs: each candidate interaction site's distance score
+    /// is increased by `bias(anchor, mobile, site)`. A zero bias reproduces
+    /// the greedy plan bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RoutingState::route_stage`].
+    pub fn route_stage_scored(
+        &mut self,
+        stage: &Stage,
+        bias: &SiteBias<'_>,
+    ) -> Result<StageRouting, CompileError> {
         let grid = self.arch.grid().clone();
         let interacting = stage.interacting_qubits();
 
@@ -258,7 +297,8 @@ impl Router {
             }
         }
 
-        // Step 3: resolve undecided qubits to the nearest free compute site.
+        // Step 3: resolve undecided qubits to the best free compute site —
+        // nearest to the anchor, plus whatever bias the strategy adds.
         for (anchor, mobile) in pending {
             let anchor_from = self
                 .layout
@@ -270,7 +310,9 @@ impl Router {
                 .expect("interacting qubit is placed");
             let anchor_pos = grid.position(anchor_from);
             let target = self
-                .nearest_free_site(&grid, &planned, anchor_pos, Zone::Compute)
+                .best_free_site(&grid, &planned, Zone::Compute, |site| {
+                    grid.position(site).distance(anchor_pos) + bias(anchor, mobile, site)
+                })
                 .ok_or(CompileError::NoFreeSite {
                     qubit: anchor,
                     zone: Zone::Compute,
@@ -322,18 +364,31 @@ impl Router {
     }
 
     /// Finds the free site of `zone` nearest to `from`.
-    ///
-    /// A site is free when nothing is planned to occupy it after the
-    /// transition. Sites that are also empty *before* the transition are
-    /// preferred, which avoids transient three-atom occupancies while a
-    /// previous occupant is still waiting for its own collective move.
-    /// Ties are broken by site index, keeping the router deterministic.
     fn nearest_free_site(
         &self,
         grid: &powermove_hardware::ZonedGrid,
         planned: &BTreeMap<SiteId, BTreeSet<Qubit>>,
         from: Point,
         zone: Zone,
+    ) -> Option<SiteId> {
+        self.best_free_site(grid, planned, zone, |site| {
+            grid.position(site).distance(from)
+        })
+    }
+
+    /// Finds the free site of `zone` minimizing `score`.
+    ///
+    /// A site is free when nothing is planned to occupy it after the
+    /// transition. Sites that are also empty *before* the transition are
+    /// preferred, which avoids transient three-atom occupancies while a
+    /// previous occupant is still waiting for its own collective move.
+    /// Ties are broken by site index, keeping every strategy deterministic.
+    fn best_free_site(
+        &self,
+        grid: &powermove_hardware::ZonedGrid,
+        planned: &BTreeMap<SiteId, BTreeSet<Qubit>>,
+        zone: Zone,
+        score: impl Fn(SiteId) -> f64,
     ) -> Option<SiteId> {
         let candidates = |also_currently_empty: bool| {
             grid.sites_in(zone)
@@ -342,9 +397,8 @@ impl Router {
                         && (!also_currently_empty || self.layout.occupancy(*s) == 0)
                 })
                 .min_by(|&x, &y| {
-                    let dx = grid.position(x).distance(from);
-                    let dy = grid.position(y).distance(from);
-                    dx.partial_cmp(&dy)
+                    score(x)
+                        .partial_cmp(&score(y))
                         .unwrap_or(std::cmp::Ordering::Equal)
                         .then(x.cmp(&y))
                 })
@@ -372,21 +426,21 @@ mod tests {
         )
     }
 
-    fn storage_router(n: u32) -> Router {
+    fn storage_router(n: u32) -> RoutingState {
         let arch = Architecture::for_qubits(n);
         let layout = Layout::row_major(&arch, n, Zone::Storage).unwrap();
-        Router::new(arch, layout, true)
+        RoutingState::new(arch, layout, true)
     }
 
-    fn compute_router(n: u32) -> Router {
+    fn compute_router(n: u32) -> RoutingState {
         let arch = Architecture::for_qubits(n);
         let layout = Layout::row_major(&arch, n, Zone::Compute).unwrap();
-        Router::new(arch, layout, false)
+        RoutingState::new(arch, layout, false)
     }
 
     /// After routing a stage, every gate pair must share a computation-zone
     /// site and no site may hold unrelated qubit groups.
-    fn assert_stage_ready(router: &Router, stage: &Stage) {
+    fn assert_stage_ready(router: &RoutingState, stage: &Stage) {
         let grid = router.architecture().grid();
         for gate in stage.gates() {
             let sa = router.layout().site_of(gate.lo()).unwrap();
@@ -509,5 +563,44 @@ mod tests {
         let routing = router.route_stage(&st).unwrap();
         assert_eq!(routing.all_moves().len(), routing.len());
         assert!(!routing.is_empty());
+    }
+
+    #[test]
+    fn zero_bias_reproduces_the_greedy_plan() {
+        let stages = [
+            stage(&[(0, 1), (2, 3), (4, 5), (6, 7)]),
+            stage(&[(1, 2), (3, 4), (5, 6)]),
+            stage(&[(0, 7), (2, 5)]),
+        ];
+        let mut greedy = storage_router(8);
+        let mut scored = storage_router(8);
+        for st in &stages {
+            let a = greedy.route_stage(st).unwrap();
+            let b = scored.route_stage_scored(st, &|_, _, _| 0.0).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(greedy.layout(), scored.layout());
+    }
+
+    #[test]
+    fn bias_can_steer_an_undecided_pair() {
+        // Two storage-resident pairs are undecided; a huge penalty on the
+        // default (nearest) site pushes the pair elsewhere.
+        let mut default_router = storage_router(4);
+        let st = stage(&[(0, 1)]);
+        let default_plan = default_router.route_stage(&st).unwrap();
+        let default_site = default_plan.interaction_moves[0].to;
+
+        let mut biased_router = storage_router(4);
+        let biased_plan = biased_router
+            .route_stage_scored(&st, &|_, _, site| {
+                if site == default_site {
+                    1.0 // one meter: dwarfs any on-grid distance
+                } else {
+                    0.0
+                }
+            })
+            .unwrap();
+        assert_ne!(biased_plan.interaction_moves[0].to, default_site);
     }
 }

@@ -177,7 +177,7 @@ impl EnolaCompiler {
             }
         }
 
-        let metadata = ctx.finish("enola", false, num_stages);
+        let metadata = ctx.finish("enola", false, num_stages, arch.num_aods());
         Ok(
             CompiledProgram::new(arch.clone(), n, initial_layout, instructions)
                 .with_metadata(metadata),

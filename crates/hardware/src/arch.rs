@@ -40,8 +40,12 @@ impl Architecture {
     }
 
     /// Builds an architecture from explicit parts.
+    ///
+    /// A zero AOD count is clamped to 1 (with a debug assertion); use
+    /// [`Architecture::try_with_num_aods`] to surface the error instead.
     #[must_use]
     pub fn new(grid: ZonedGrid, params: PhysicalParams, num_aods: usize) -> Self {
+        debug_assert!(num_aods >= 1, "an architecture needs at least one AOD");
         Architecture {
             grid,
             params,
@@ -49,11 +53,33 @@ impl Architecture {
         }
     }
 
-    /// Replaces the number of AOD arrays (at least 1).
+    /// Replaces the number of AOD arrays.
+    ///
+    /// A machine without a single AOD array cannot move qubits at all, so a
+    /// zero count is a configuration bug: it trips a debug assertion, and in
+    /// release builds it is clamped to 1 (the clamp is documented behaviour,
+    /// not silent — the resolved count is surfaced through
+    /// `CompileMetadata::num_aods` in every bench report). Use
+    /// [`Architecture::try_with_num_aods`] where the count comes from
+    /// untrusted input.
     #[must_use]
     pub fn with_num_aods(mut self, num_aods: usize) -> Self {
+        debug_assert!(num_aods >= 1, "an architecture needs at least one AOD");
         self.num_aods = num_aods.max(1);
         self
+    }
+
+    /// Fallible variant of [`Architecture::with_num_aods`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HardwareError::InvalidAodCount`] when `num_aods` is zero.
+    pub fn try_with_num_aods(mut self, num_aods: usize) -> Result<Self, HardwareError> {
+        if num_aods == 0 {
+            return Err(HardwareError::InvalidAodCount { requested: 0 });
+        }
+        self.num_aods = num_aods;
+        Ok(self)
     }
 
     /// Replaces the physical parameters.
@@ -130,11 +156,25 @@ mod tests {
     }
 
     #[test]
-    fn num_aods_is_at_least_one() {
+    fn zero_aods_is_a_validation_error() {
+        let err = Architecture::for_qubits(10)
+            .try_with_num_aods(0)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            HardwareError::InvalidAodCount { requested: 0 }
+        ));
+        let a = Architecture::for_qubits(10).try_with_num_aods(4).unwrap();
+        assert_eq!(a.num_aods(), 4);
+        assert_eq!(Architecture::for_qubits(10).with_num_aods(4).num_aods(), 4);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "at least one AOD"))]
+    fn zero_aods_trips_the_debug_assertion_or_clamps() {
+        // Debug builds assert; release builds clamp to one (documented).
         let a = Architecture::for_qubits(10).with_num_aods(0);
         assert_eq!(a.num_aods(), 1);
-        let a = Architecture::for_qubits(10).with_num_aods(4);
-        assert_eq!(a.num_aods(), 4);
     }
 
     #[test]

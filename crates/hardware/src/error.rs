@@ -44,6 +44,17 @@ pub enum HardwareError {
         /// Number of available sites.
         sites: usize,
     },
+    /// An architecture was requested with zero AOD arrays.
+    InvalidAodCount {
+        /// The requested number of AOD arrays.
+        requested: usize,
+    },
+    /// Two collective-move batches of one parallel window claim the same
+    /// AOD array.
+    DuplicateAodAssignment {
+        /// The doubly-assigned AOD.
+        aod: crate::AodId,
+    },
 }
 
 impl fmt::Display for HardwareError {
@@ -71,6 +82,13 @@ impl fmt::Display for HardwareError {
                 f,
                 "machine has {sites} sites but the circuit needs {qubits} qubits"
             ),
+            HardwareError::InvalidAodCount { requested } => write!(
+                f,
+                "an architecture needs at least one AOD array (requested {requested})"
+            ),
+            HardwareError::DuplicateAodAssignment { aod } => {
+                write!(f, "AOD array {aod} is assigned two overlapping batches")
+            }
         }
     }
 }

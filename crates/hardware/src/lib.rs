@@ -38,6 +38,8 @@ mod zones;
 pub use arch::Architecture;
 pub use error::HardwareError;
 pub use geometry::{Point, SiteId};
-pub use movement::{move_duration, validate_collective_move, AodId, TrapMove};
+pub use movement::{
+    move_duration, validate_aod_batches, validate_collective_move, AodBatch, AodId, TrapMove,
+};
 pub use params::PhysicalParams;
 pub use zones::{Zone, ZonedGrid};

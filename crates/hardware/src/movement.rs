@@ -134,6 +134,79 @@ impl fmt::Display for TrapMove {
     }
 }
 
+/// A batch of single-qubit movements owned by one AOD array.
+///
+/// Batches are the unit the multi-AOD scheduler partitions a stage's
+/// [`TrapMove`] set into: every batch is internally conflict-free (the AOD
+/// order constraint), and batches assigned to *distinct* AODs may execute in
+/// the same parallel window even when their moves would conflict within a
+/// single lattice (Sec. 6.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AodBatch {
+    /// The AOD array that executes this batch.
+    pub aod: AodId,
+    /// The constituent single-qubit movements.
+    pub moves: Vec<TrapMove>,
+}
+
+impl AodBatch {
+    /// Creates a batch owned by `aod`.
+    #[must_use]
+    pub fn new(aod: AodId, moves: Vec<TrapMove>) -> Self {
+        AodBatch { aod, moves }
+    }
+
+    /// Number of qubits moved by this batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Returns `true` if the batch moves no qubit.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// The longest single movement distance of the batch, in meters, which
+    /// determines its translation duration.
+    #[must_use]
+    pub fn max_distance(&self) -> f64 {
+        self.moves
+            .iter()
+            .map(TrapMove::distance)
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks the batch against the AOD order constraint.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`validate_collective_move`].
+    pub fn validate(&self) -> Result<(), HardwareError> {
+        validate_collective_move(&self.moves)
+    }
+}
+
+/// Checks that a set of per-AOD batches can execute in one parallel window:
+/// every batch must be internally conflict-free, and no AOD array may own
+/// two batches (an AOD cannot run two collective moves at once — that is an
+/// intra-AOD overlap).
+///
+/// # Errors
+///
+/// Returns [`HardwareError::DuplicateAodAssignment`] on an AOD owning two
+/// batches, or the first per-batch error from [`validate_collective_move`].
+pub fn validate_aod_batches(batches: &[AodBatch]) -> Result<(), HardwareError> {
+    for (i, batch) in batches.iter().enumerate() {
+        if batches[i + 1..].iter().any(|b| b.aod == batch.aod) {
+            return Err(HardwareError::DuplicateAodAssignment { aod: batch.aod });
+        }
+        batch.validate()?;
+    }
+    Ok(())
+}
+
 /// Checks that a set of single-qubit moves can be executed as one AOD
 /// collective move.
 ///
@@ -282,5 +355,50 @@ mod tests {
         let a = AodId::new(2);
         assert_eq!(a.index(), 2);
         assert_eq!(a.to_string(), "aod2");
+    }
+
+    #[test]
+    fn aod_batches_on_distinct_arrays_may_conflict() {
+        // Crossing moves conflict within one lattice but are fine when
+        // partitioned onto two independent AODs.
+        let crossing_a = mv(0, 0.0, 0.0, 45.0, 0.0);
+        let crossing_b = mv(1, 30.0, 0.0, 15.0, 0.0);
+        assert!(crossing_a.conflicts_with(&crossing_b));
+        let batches = vec![
+            AodBatch::new(AodId::new(0), vec![crossing_a]),
+            AodBatch::new(AodId::new(1), vec![crossing_b]),
+        ];
+        assert!(validate_aod_batches(&batches).is_ok());
+    }
+
+    #[test]
+    fn duplicate_aod_assignment_is_rejected() {
+        let batches = vec![
+            AodBatch::new(AodId::new(0), vec![mv(0, 0.0, 0.0, 15.0, 0.0)]),
+            AodBatch::new(AodId::new(0), vec![mv(1, 30.0, 0.0, 45.0, 0.0)]),
+        ];
+        let err = validate_aod_batches(&batches).unwrap_err();
+        assert!(matches!(err, HardwareError::DuplicateAodAssignment { .. }));
+    }
+
+    #[test]
+    fn batch_internal_conflicts_are_rejected() {
+        let batches = vec![AodBatch::new(
+            AodId::new(0),
+            vec![mv(0, 0.0, 0.0, 45.0, 0.0), mv(1, 30.0, 0.0, 15.0, 0.0)],
+        )];
+        assert!(validate_aod_batches(&batches).is_err());
+    }
+
+    #[test]
+    fn batch_reports_size_and_longest_move() {
+        let batch = AodBatch::new(
+            AodId::new(1),
+            vec![mv(0, 0.0, 0.0, 30.0, 0.0), mv(1, 0.0, 15.0, 15.0, 15.0)],
+        );
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert!((batch.max_distance() - 30e-6).abs() < 1e-12);
+        assert!(AodBatch::new(AodId::new(0), vec![]).is_empty());
     }
 }

@@ -45,6 +45,19 @@ pub enum ScheduleError {
         /// AOD arrays available.
         available: usize,
     },
+    /// One AOD array was assigned two collective moves within the same
+    /// parallel window (an intra-AOD move-window overlap).
+    IntraAodOverlap {
+        /// The doubly-booked AOD.
+        aod: powermove_hardware::AodId,
+    },
+    /// A collective move names an AOD array the architecture does not have.
+    AodOutOfRange {
+        /// The named AOD.
+        aod: powermove_hardware::AodId,
+        /// AOD arrays available.
+        available: usize,
+    },
     /// After a move group, a site ended up with more than two qubits.
     SiteOvercrowded {
         /// The overcrowded site.
@@ -104,6 +117,14 @@ impl fmt::Display for ScheduleError {
             } => write!(
                 f,
                 "{requested} collective moves scheduled in parallel but only {available} AODs exist"
+            ),
+            ScheduleError::IntraAodOverlap { aod } => write!(
+                f,
+                "AOD {aod} is assigned two collective moves in one parallel window"
+            ),
+            ScheduleError::AodOutOfRange { aod, available } => write!(
+                f,
+                "collective move targets {aod} but the machine has {available} AODs"
             ),
             ScheduleError::SiteOvercrowded { site, occupants } => {
                 write!(f, "site {site} holds {occupants} qubits (max 2)")

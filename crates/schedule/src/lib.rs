@@ -48,7 +48,7 @@ pub use error::ScheduleError;
 pub use instruction::{CollMove, Instruction, SiteMove};
 pub use layout::Layout;
 pub use program::{CompileMetadata, CompiledProgram, PassCounter, PassTiming};
-pub use timeline::{EventKind, Timeline, TimelineEvent};
+pub use timeline::{AodWindow, EventKind, Timeline, TimelineEvent};
 pub use timing::{instruction_duration, move_group_duration, one_qubit_layer_duration};
 pub use trace::{simulate, ExecutionTrace};
 pub use validate::validate;

@@ -34,6 +34,10 @@ pub struct CompileMetadata {
     pub uses_storage: bool,
     /// Number of Rydberg stages scheduled.
     pub num_stages: usize,
+    /// Number of AOD arrays the program was scheduled for (the resolved
+    /// `Architecture::num_aods`, so bench reports record the count that
+    /// actually drove multi-AOD packing). Zero when unrecorded.
+    pub num_aods: usize,
     /// Per-pass wall-clock timings, in pipeline order.
     pub pass_timings: Vec<PassTiming>,
     /// Work counters accumulated by the passes.
@@ -289,6 +293,7 @@ mod tests {
             compile_time: Some(0.5),
             uses_storage: true,
             num_stages: 1,
+            num_aods: 2,
             pass_timings: vec![
                 PassTiming {
                     pass: "stage".to_string(),
@@ -307,6 +312,7 @@ mod tests {
         assert_eq!(p.metadata().compiler, "powermove");
         assert_eq!(p.metadata().compile_time, Some(0.5));
         assert!(p.metadata().uses_storage);
+        assert_eq!(p.metadata().num_aods, 2);
         assert_eq!(p.metadata().pass_seconds("route"), Some(0.3));
         assert_eq!(p.metadata().pass_seconds("moves"), None);
         assert_eq!(p.metadata().counter("coll_moves"), Some(4));

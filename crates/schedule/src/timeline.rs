@@ -6,6 +6,7 @@
 //! wall-clock time is spent moving, exciting, or executing 1Q layers).
 
 use crate::{instruction_duration, CompiledProgram, Instruction};
+use powermove_hardware::AodId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -50,6 +51,33 @@ impl TimelineEvent {
     #[must_use]
     pub fn end(&self) -> f64 {
         self.start + self.duration
+    }
+}
+
+/// The busy window of one AOD array within one move-group instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AodWindow {
+    /// Index of the originating move-group instruction.
+    pub instruction_index: usize,
+    /// The AOD array executing the collective move.
+    pub aod: AodId,
+    /// Absolute start time in seconds (shared by every AOD of the group).
+    pub start: f64,
+    /// Busy duration: two trap transfers plus this AOD's own translation.
+    pub duration: f64,
+}
+
+impl AodWindow {
+    /// Absolute end time in seconds.
+    #[must_use]
+    pub fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+
+    /// Whether this window overlaps `other` in time.
+    #[must_use]
+    pub fn overlaps(&self, other: &AodWindow) -> bool {
+        self.start < other.end() && other.start < self.end()
     }
 }
 
@@ -123,6 +151,43 @@ impl Timeline {
         } else {
             self.time_in(kind) / self.total_duration
         }
+    }
+
+    /// Expands every movement event of `program` into per-AOD busy windows.
+    ///
+    /// Collective moves of one move group share the group's start time —
+    /// their windows *overlap*, which is exactly the multi-AOD parallelism
+    /// the scheduler exploits — but each window lasts only two transfers
+    /// plus that AOD's own translation, so an AOD driving a short move goes
+    /// idle before the group's slowest member finishes. Windows of the same
+    /// AOD never overlap: groups execute sequentially and the validator
+    /// rejects a doubly-booked AOD within one group
+    /// ([`crate::ScheduleError::IntraAodOverlap`]).
+    ///
+    /// The timeline must have been built from the same program.
+    #[must_use]
+    pub fn aod_windows(&self, program: &CompiledProgram) -> Vec<AodWindow> {
+        let arch = program.architecture();
+        let mut windows = Vec::new();
+        for event in &self.events {
+            let Some(Instruction::MoveGroup { coll_moves }) =
+                program.instructions().get(event.instruction_index)
+            else {
+                continue;
+            };
+            for cm in coll_moves {
+                if cm.is_empty() {
+                    continue;
+                }
+                windows.push(AodWindow {
+                    instruction_index: event.instruction_index,
+                    aod: cm.aod,
+                    start: event.start,
+                    duration: 2.0 * arch.params().transfer_duration + cm.move_duration(arch),
+                });
+            }
+        }
+        windows
     }
 
     /// Renders a compact text summary, one line per event, with times in
@@ -217,6 +282,46 @@ mod tests {
         assert!(timeline.events().is_empty());
         assert_eq!(timeline.total_duration(), 0.0);
         assert_eq!(timeline.fraction_in(EventKind::Movement), 0.0);
+    }
+
+    #[test]
+    fn aod_windows_overlap_across_arrays_but_never_within_one() {
+        let arch = Architecture::for_qubits(9).with_num_aods(2);
+        let layout = Layout::row_major(&arch, 6, Zone::Compute).unwrap();
+        let g = arch.grid().clone();
+        let s = |c, r| g.site(Zone::Compute, c, r).unwrap();
+        let program = CompiledProgram::new(
+            arch,
+            6,
+            layout,
+            vec![
+                Instruction::move_group(vec![
+                    CollMove::new(AodId::new(0), vec![SiteMove::new(q(2), s(2, 0), s(2, 2))]),
+                    CollMove::new(AodId::new(1), vec![SiteMove::new(q(3), s(0, 1), s(0, 2))]),
+                ]),
+                Instruction::move_group(vec![CollMove::new(
+                    AodId::new(0),
+                    vec![SiteMove::new(q(2), s(2, 2), s(2, 1))],
+                )]),
+            ],
+        );
+        let timeline = Timeline::of(&program);
+        let windows = timeline.aod_windows(&program);
+        assert_eq!(windows.len(), 3);
+        // The two windows of the first group share a start and overlap.
+        assert_eq!(windows[0].start, windows[1].start);
+        assert!(windows[0].overlaps(&windows[1]));
+        assert_ne!(windows[0].aod, windows[1].aod);
+        // The longer translation outlives the shorter one's window.
+        assert!(windows[0].duration > windows[1].duration);
+        // Same-AOD windows (groups 1 and 2 on aod0) never overlap.
+        assert!(!windows[0].overlaps(&windows[2]));
+        assert!(windows[2].start >= windows[0].end());
+        // Every window ends within its group's event.
+        let events = timeline.events();
+        assert!(windows
+            .iter()
+            .all(|w| w.end() <= events[w.instruction_index].end() + 1e-12));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::{instruction_duration, CompiledProgram, Instruction, Layout, ScheduleError};
 use powermove_circuit::Qubit;
-use powermove_hardware::{validate_collective_move, Zone};
+use powermove_hardware::{validate_aod_batches, AodBatch, HardwareError, Zone};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -133,6 +133,14 @@ pub fn simulate(program: &CompiledProgram) -> Result<ExecutionTrace, ScheduleErr
                         available: arch.num_aods(),
                     });
                 }
+                for cm in coll_moves {
+                    if cm.aod.index() >= arch.num_aods() {
+                        return Err(ScheduleError::AodOutOfRange {
+                            aod: cm.aod,
+                            available: arch.num_aods(),
+                        });
+                    }
+                }
                 // Validate every collective move against the pre-group layout.
                 for cm in coll_moves {
                     for m in &cm.moves {
@@ -156,8 +164,21 @@ pub fn simulate(program: &CompiledProgram) -> Result<ExecutionTrace, ScheduleErr
                             });
                         }
                     }
-                    validate_collective_move(&cm.trap_moves(arch))?;
                 }
+                // The group's collective moves overlap in time, one per-AOD
+                // batch each: every batch must satisfy the AOD order
+                // constraint internally, and no AOD may own two batches — a
+                // doubly-booked AOD is an intra-AOD move-window overlap.
+                let batches: Vec<AodBatch> = coll_moves
+                    .iter()
+                    .map(|cm| AodBatch::new(cm.aod, cm.trap_moves(arch)))
+                    .collect();
+                validate_aod_batches(&batches).map_err(|e| match e {
+                    HardwareError::DuplicateAodAssignment { aod } => {
+                        ScheduleError::IntraAodOverlap { aod }
+                    }
+                    other => ScheduleError::Hardware(other),
+                })?;
                 // Apply all moves of the group simultaneously.
                 let mut touched = BTreeSet::new();
                 for cm in coll_moves {
@@ -471,6 +492,92 @@ mod tests {
             simulate(&p),
             Err(ScheduleError::TooManyParallelMoves { .. })
         ));
+    }
+
+    #[test]
+    fn intra_aod_overlap_rejected() {
+        // Two collective moves on the same AOD in one window: even with two
+        // AODs available, one lattice cannot run two moves at once.
+        let arch = arch4().with_num_aods(2);
+        let layout = compute_layout(&arch, 4);
+        let a = SiteMove::new(
+            q(0),
+            site(&arch, Zone::Compute, 0, 0),
+            site(&arch, Zone::Compute, 0, 1),
+        );
+        let b = SiteMove::new(
+            q(1),
+            site(&arch, Zone::Compute, 1, 0),
+            site(&arch, Zone::Compute, 1, 1),
+        );
+        let p = CompiledProgram::new(
+            arch,
+            4,
+            layout,
+            vec![Instruction::move_group(vec![
+                CollMove::new(AodId::new(0), vec![a]),
+                CollMove::new(AodId::new(0), vec![b]),
+            ])],
+        );
+        assert!(matches!(
+            simulate(&p),
+            Err(ScheduleError::IntraAodOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn aod_index_beyond_architecture_rejected() {
+        let arch = arch4().with_num_aods(2);
+        let layout = compute_layout(&arch, 4);
+        let m = SiteMove::new(
+            q(0),
+            site(&arch, Zone::Compute, 0, 0),
+            site(&arch, Zone::Compute, 0, 1),
+        );
+        let p = CompiledProgram::new(
+            arch,
+            4,
+            layout,
+            vec![Instruction::move_group(vec![CollMove::new(
+                AodId::new(2),
+                vec![m],
+            )])],
+        );
+        assert!(matches!(
+            simulate(&p),
+            Err(ScheduleError::AodOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_aods_may_run_conflicting_moves_in_one_window() {
+        // Crossing moves conflict within one AOD lattice but are legal on
+        // two independent arrays sharing a parallel window.
+        let arch = arch4().with_num_aods(2);
+        let layout = compute_layout(&arch, 4);
+        let a = SiteMove::new(
+            q(0),
+            site(&arch, Zone::Compute, 0, 0),
+            site(&arch, Zone::Compute, 1, 1),
+        );
+        let b = SiteMove::new(
+            q(1),
+            site(&arch, Zone::Compute, 1, 0),
+            site(&arch, Zone::Compute, 0, 1),
+        );
+        assert!(a.to_trap_move(&arch).conflicts_with(&b.to_trap_move(&arch)));
+        let p = CompiledProgram::new(
+            arch,
+            4,
+            layout,
+            vec![Instruction::move_group(vec![
+                CollMove::new(AodId::new(0), vec![a]),
+                CollMove::new(AodId::new(1), vec![b]),
+            ])],
+        );
+        let t = simulate(&p).unwrap();
+        assert_eq!(t.coll_move_count, 2);
+        assert_eq!(t.move_group_count, 1);
     }
 
     #[test]

@@ -10,7 +10,10 @@ use crate::{simulate, CompiledProgram, ScheduleError};
 /// * every qubit is placed on a valid site of the grid, at most two per site;
 /// * every collective move starts from the qubits' actual sites and respects
 ///   the AOD row/column order constraint;
-/// * no more collective moves run in parallel than there are AOD arrays;
+/// * no more collective moves run in parallel than there are AOD arrays,
+///   every named AOD exists, and no AOD is assigned two collective moves in
+///   one parallel window (overlapping windows are legal only across
+///   *distinct* AODs — intra-AOD overlap is rejected);
 /// * every CZ gate of a Rydberg stage acts on a pair co-located at one
 ///   computation-zone site, stages have disjoint gates, and no unrelated
 ///   qubits are clustered at a shared site during an excitation.

@@ -1,0 +1,163 @@
+//! Workspace-level contract of the pluggable routing subsystem:
+//!
+//! * every built-in strategy compiles every suite family into a
+//!   hardware-valid program, byte-identical across worker counts;
+//! * `GreedyRouter` *is* the default configuration — selecting it
+//!   explicitly reproduces the default compiler's output bit for bit (the
+//!   pre-refactor behaviour, also pinned by the benchmark gate's exact
+//!   stage/transfer checks against the recorded baseline);
+//! * the multi-AOD scheduler's schedules pass validation with zero
+//!   intra-AOD move-window overlaps while distinct AODs do overlap;
+//! * at two or more AODs the balanced windows never move slower than the
+//!   greedy chunking, and beat it on movement-heavy workloads.
+
+use powermove_suite::benchmarks::{generate, BenchmarkFamily};
+use powermove_suite::fidelity::{attribute_movement, evaluate_program};
+use powermove_suite::hardware::Architecture;
+use powermove_suite::powermove::{CompilerConfig, GreedyRouter, PowerMoveCompiler, RoutingConfig};
+use powermove_suite::schedule::{validate, CompiledProgram, Timeline};
+use std::sync::Arc;
+
+const SEED: u64 = 20250;
+
+fn strategies() -> Vec<(&'static str, RoutingConfig)> {
+    vec![
+        ("greedy", RoutingConfig::greedy()),
+        ("lookahead2", RoutingConfig::lookahead(2)),
+        ("multi-aod", RoutingConfig::multi_aod()),
+    ]
+}
+
+/// Serializes the observable program content; pass timings are excluded
+/// (wall clocks legitimately differ run to run).
+fn program_bytes(program: &CompiledProgram) -> String {
+    let instructions =
+        serde_json::to_string(&program.instructions().to_vec()).expect("instructions serialize");
+    let layout = serde_json::to_string(program.initial_layout()).expect("layout serializes");
+    let counters = serde_json::to_string(&program.metadata().counters).expect("counters serialize");
+    format!("{layout}|{instructions}|{counters}")
+}
+
+fn compile(
+    family: BenchmarkFamily,
+    n: u32,
+    aods: usize,
+    routing: RoutingConfig,
+    threads: usize,
+) -> CompiledProgram {
+    let instance = generate(family, n, SEED);
+    let arch = Architecture::for_qubits(instance.num_qubits).with_num_aods(aods);
+    PowerMoveCompiler::new(
+        CompilerConfig::default()
+            .with_routing(routing)
+            .with_threads(threads),
+    )
+    .compile(&instance.circuit, &arch)
+    .expect("benchmark compiles")
+}
+
+#[test]
+fn every_family_and_strategy_is_deterministic_across_worker_counts() {
+    for family in BenchmarkFamily::ALL {
+        for (name, routing) in strategies() {
+            let reference = compile(family, 16, 3, routing, 1);
+            validate(&reference).unwrap_or_else(|e| {
+                panic!("{family}/{name}: invalid program: {e}");
+            });
+            let reference_bytes = program_bytes(&reference);
+            for threads in [2, 4] {
+                let parallel = program_bytes(&compile(family, 16, 3, routing, threads));
+                assert_eq!(
+                    reference_bytes, parallel,
+                    "{family}/{name}: threads=1 vs threads={threads} diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn explicit_greedy_router_reproduces_the_default_compiler_byte_identically() {
+    for family in BenchmarkFamily::ALL {
+        let instance = generate(family, 16, SEED);
+        let arch = Architecture::for_qubits(instance.num_qubits);
+        let default = PowerMoveCompiler::new(CompilerConfig::default())
+            .compile(&instance.circuit, &arch)
+            .expect("compiles");
+        let explicit_config =
+            PowerMoveCompiler::new(CompilerConfig::default().with_routing(RoutingConfig::greedy()))
+                .compile(&instance.circuit, &arch)
+                .expect("compiles");
+        let custom_registration = PowerMoveCompiler::new(CompilerConfig::default())
+            .with_strategy(Arc::new(GreedyRouter))
+            .compile(&instance.circuit, &arch)
+            .expect("compiles");
+        assert_eq!(program_bytes(&default), program_bytes(&explicit_config));
+        assert_eq!(program_bytes(&default), program_bytes(&custom_registration));
+    }
+}
+
+#[test]
+fn multi_aod_schedules_have_zero_intra_aod_window_overlaps() {
+    for family in BenchmarkFamily::ALL {
+        for aods in [2_usize, 4] {
+            let program = compile(family, 16, aods, RoutingConfig::multi_aod(), 1);
+            validate(&program).expect("multi-AOD schedule validates");
+            let windows = Timeline::of(&program).aod_windows(&program);
+            for (i, a) in windows.iter().enumerate() {
+                for b in &windows[i + 1..] {
+                    if a.aod == b.aod {
+                        assert!(
+                            !a.overlaps(b),
+                            "{family}@{aods}aods: AOD {} double-booked",
+                            a.aod
+                        );
+                    }
+                }
+            }
+            // The parallelism is real: some window pair on distinct AODs
+            // overlaps (every program here moves more qubits than one AOD
+            // batch carries).
+            let overlapping = windows.iter().enumerate().any(|(i, a)| {
+                windows[i + 1..]
+                    .iter()
+                    .any(|b| a.aod != b.aod && a.overlaps(b))
+            });
+            assert!(
+                overlapping,
+                "{family}@{aods}aods: no distinct-AOD windows overlap"
+            );
+            // Per-AOD attribution covers the whole schedule.
+            let stats = attribute_movement(&program);
+            assert!(!stats.is_empty());
+            let report = evaluate_program(&program).expect("scores");
+            let moved: usize = stats.iter().map(|s| s.moved_qubits).sum();
+            assert_eq!(2 * moved, report.trace.transfer_count);
+        }
+    }
+}
+
+#[test]
+fn balanced_windows_never_move_slower_than_greedy_at_multiple_aods() {
+    let mut strictly_faster = 0_u32;
+    for family in BenchmarkFamily::ALL {
+        for aods in [2_usize, 3, 4] {
+            let greedy = compile(family, 20, aods, RoutingConfig::greedy(), 1);
+            let multi = compile(family, 20, aods, RoutingConfig::multi_aod(), 1);
+            let movement =
+                |p: &CompiledProgram| evaluate_program(p).expect("scores").trace.movement_time;
+            let (tg, tm) = (movement(&greedy), movement(&multi));
+            assert!(
+                tm <= tg + 1e-12,
+                "{family}@{aods}aods: balanced {tm} slower than greedy {tg}"
+            );
+            if tm < tg - 1e-12 {
+                strictly_faster += 1;
+            }
+        }
+    }
+    assert!(
+        strictly_faster > 0,
+        "balanced packing never beat greedy on any family x AOD-count cell"
+    );
+}

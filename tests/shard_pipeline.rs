@@ -16,8 +16,8 @@
 use powermove_bench::{
     compare, merge_cells, parse_cells, read_cells, run_instance, run_instance_sampled, run_shard,
     BackendRegistry, Baseline, BaselineEntry, GateTolerance, ReportWriter, RunResult, ShardCell,
-    ShardRegistry, SuiteShard, DEFAULT_SEED, ENOLA, LARGE_SHARD_QUBITS, POWERMOVE_NON_STORAGE,
-    POWERMOVE_STORAGE,
+    ShardRegistry, SuiteShard, DEFAULT_SEED, ENOLA, LARGE_SHARD_QUBITS, POWERMOVE_MULTI_AOD,
+    POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE,
 };
 use powermove_suite::benchmarks::{generate, table2_suite, BenchmarkFamily};
 use serde_json::Value;
@@ -94,7 +94,9 @@ fn standard_shards_are_a_disjoint_exact_cover_of_the_gated_suite() {
     for (family, n) in powermove_bench::fig7_cases() {
         let base = generate(family, n, DEFAULT_SEED).name;
         for aods in 2..=4 {
-            expected.insert((POWERMOVE_STORAGE.to_string(), format!("{base}@aods{aods}")));
+            for backend in [POWERMOVE_STORAGE, POWERMOVE_MULTI_AOD] {
+                expected.insert((backend.to_string(), format!("{base}@aods{aods}")));
+            }
         }
     }
     assert_eq!(seen, expected, "shard union drifted from the gated suite");
@@ -110,7 +112,99 @@ fn standard_shards_are_a_disjoint_exact_cover_of_the_gated_suite() {
 }
 
 #[test]
+fn baseline_wall_clocks_drive_the_table2_split_and_preserve_the_cover() {
+    // Build a synthetic baseline in which exactly one *small* benchmark
+    // (BV-14) carries almost the entire recorded compile cost: the balanced
+    // split must put it in one shard and essentially everything else in the
+    // other, regardless of qubit counts.
+    let fallback = ShardRegistry::standard(DEFAULT_SEED);
+    let entry = |compiler: &str, benchmark: &str, seconds: f64| BaselineEntry {
+        compiler: compiler.to_string(),
+        benchmark: benchmark.to_string(),
+        shard: String::new(),
+        fidelity: 0.9,
+        execution_time_us: 1000.0,
+        compile_time: powermove_bench::SampleStats::single(seconds),
+        stages: 1,
+        transfers: 2,
+        cz_gates: 3,
+    };
+    let mut entries = Vec::new();
+    for instance in table2_suite(DEFAULT_SEED) {
+        let cost = if instance.name == "BV-14" {
+            1000.0
+        } else {
+            0.001
+        };
+        for backend in [ENOLA, POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE] {
+            entries.push(entry(backend, &instance.name, cost));
+        }
+    }
+    let baseline = Baseline { entries };
+    let balanced = ShardRegistry::standard_with_baseline(DEFAULT_SEED, Some(&baseline));
+
+    // The heaviest cell lands in `table2/large` (longest-first seeding) and
+    // nearly everything else balances into `table2/small`.
+    let large = balanced.get("table2/large").unwrap();
+    let small = balanced.get("table2/small").unwrap();
+    assert!(large.cells().iter().any(|c| c.instance.name == "BV-14"));
+    assert!(small.cells().len() > large.cells().len());
+
+    // The union of gated cells is identical to the fallback registry's —
+    // the split never changes coverage, only membership.
+    let union = |registry: &ShardRegistry| -> BTreeSet<(String, String)> {
+        registry.iter().flat_map(SuiteShard::cell_ids).collect()
+    };
+    assert_eq!(union(&balanced), union(&fallback));
+
+    // Every cell still has a unique canonical rank.
+    let cells = union(&balanced);
+    let ranks: BTreeSet<usize> = cells
+        .iter()
+        .map(|(c, b)| balanced.cell_rank(c, b).expect("rank"))
+        .collect();
+    assert_eq!(ranks.len(), cells.len());
+}
+
+#[test]
+fn cells_without_baseline_entries_fall_back_to_the_qubit_heuristic() {
+    // A baseline covering only one large benchmark: every other instance is
+    // split by the qubit threshold, and with only one costed cell the
+    // balancer puts it in the (empty-cost) large shard.
+    let mut entries = Vec::new();
+    for backend in [ENOLA, POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE] {
+        entries.push(BaselineEntry {
+            compiler: backend.to_string(),
+            benchmark: "QFT-18".to_string(),
+            shard: String::new(),
+            fidelity: 0.9,
+            execution_time_us: 1000.0,
+            compile_time: powermove_bench::SampleStats::single(5.0),
+            stages: 1,
+            transfers: 2,
+            cz_gates: 3,
+        });
+    }
+    let baseline = Baseline { entries };
+    let registry = ShardRegistry::standard_with_baseline(DEFAULT_SEED, Some(&baseline));
+    let small = registry.get("table2/small").unwrap();
+    let large = registry.get("table2/large").unwrap();
+    for cell in small.cells() {
+        assert!(
+            cell.instance.num_qubits < LARGE_SHARD_QUBITS,
+            "{} fell back to the heuristic",
+            cell.instance.name
+        );
+    }
+    for cell in large.cells() {
+        assert!(cell.instance.name == "QFT-18" || cell.instance.num_qubits >= LARGE_SHARD_QUBITS);
+    }
+    assert!(large.cells().iter().any(|c| c.instance.name == "QFT-18"));
+}
+
+#[test]
 fn table2_shards_split_by_the_documented_qubit_threshold() {
+    // Without a baseline, `standard` falls back to the qubit heuristic.
     let shards = ShardRegistry::standard(DEFAULT_SEED);
     let small = shards.get("table2/small").unwrap();
     let large = shards.get("table2/large").unwrap();
