@@ -43,9 +43,9 @@
 
 use powermove_bench::gate::{compare, Baseline, GateReport, GateTolerance, Verdict};
 use powermove_bench::{
-    merge_cells, read_cells, run_shard, take_f64_flag, take_flag, take_json_path, take_switch,
-    take_usize_flag, write_json, BackendRegistry, BaselineEntry, ParsedCell, ReportWriter,
-    RunResult, ShardRegistry, SuiteShard, DEFAULT_REPEATS, DEFAULT_SEED,
+    merge_cells, read_cells_lossy, run_shard, take_f64_flag, take_flag, take_json_path,
+    take_switch, take_usize_flag, write_json, BackendRegistry, BaselineEntry, ParsedCell,
+    ReportWriter, RunResult, ShardRegistry, SuiteShard, DEFAULT_REPEATS, DEFAULT_SEED,
 };
 use serde::Value;
 use std::path::PathBuf;
@@ -289,9 +289,19 @@ fn merge_main(mut args: Vec<String>) {
     let shards = shards_for(Some(&baseline));
     let mut files: Vec<Vec<ParsedCell>> = Vec::new();
     for path in &args {
-        match read_cells(&PathBuf::from(path)) {
-            Ok(cells) => {
+        // Lossy read: a part-file whose run was SIGKILLed mid-append ends in
+        // a torn line. The valid prefix still merges — the lost cell then
+        // fails the gate as MISSING, which is the verdict the operator
+        // needs, instead of a usage error hiding the crash.
+        match read_cells_lossy(&PathBuf::from(path)) {
+            Ok((cells, dropped)) => {
                 println!("bench-gate merge: {path}: {} cells", cells.len());
+                if let Some(dropped) = dropped {
+                    eprintln!(
+                        "bench-gate merge: {path}: dropped torn final line ({dropped}) — \
+                         the unfinished cell will gate as MISSING"
+                    );
+                }
                 files.push(cells);
             }
             Err(e) => {

@@ -1,8 +1,10 @@
 //! Regenerates Fig. 7 of the paper: execution time and fidelity of the
 //! with-storage PowerMove configuration as the number of AOD arrays grows
 //! from 1 to 4, on the five benchmark instances used in the figure — now
-//! under two routing variants: the greedy router's chunked packing and the
-//! multi-AOD collective-move scheduler's duration-balanced windows.
+//! under three routing columns: the greedy router's chunked packing, the
+//! multi-AOD collective-move scheduler's duration-balanced windows, and the
+//! portfolio auto-tuner that compiles every candidate and keeps the
+//! schedule with the lower movement wall clock.
 //!
 //! Usage:
 //!
@@ -12,7 +14,7 @@
 
 use powermove_bench::{
     fig7_cases, run_instance, take_json_path, write_json, BackendRegistry, RunResult, DEFAULT_SEED,
-    POWERMOVE_MULTI_AOD, POWERMOVE_STORAGE,
+    POWERMOVE_AUTO, POWERMOVE_MULTI_AOD, POWERMOVE_STORAGE,
 };
 use powermove_benchmarks::generate;
 use powermove_exec::ThreadPool;
@@ -29,10 +31,11 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_path = take_json_path(&mut args);
     let registry = BackendRegistry::standard().with_routing_variants();
-    // The case list and the backend pair are shared with the
+    // The case list and the backend columns are shared with the
     // `fig7/multi-aod` gate shard (`powermove_bench::fig7_cases`), so the
-    // figure and the CI gate can never drift apart.
-    let backends = [POWERMOVE_STORAGE, POWERMOVE_MULTI_AOD];
+    // figure and the CI gate can never drift apart: greedy vs the multi-AOD
+    // scheduler vs the portfolio auto-tuner.
+    let backends = [POWERMOVE_STORAGE, POWERMOVE_MULTI_AOD, POWERMOVE_AUTO];
     let cases = fig7_cases();
     println!(
         "{:<20} {:<22} {:>6} {:>14} {:>14} {:>12} {:>8}",

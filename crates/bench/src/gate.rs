@@ -742,6 +742,39 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_baseline_cell_still_gates_correctly() {
+        // A cell recorded with one sample (legacy v1 import or --repeats 1)
+        // has a degenerate [value, value] interval: the gate must still
+        // pass identical runs, flag regressions past the slack, and report
+        // improvements — never divide by a zero-width notch into NaN.
+        let tol = GateTolerance::default();
+        let mut base = baseline();
+        base.entries[0].compile_time = SampleStats::single(2.0);
+
+        let mut current = base.entries.clone();
+        current[0].compile_time = SampleStats::from_samples(vec![2.1, 2.0, 1.9]);
+        assert!(
+            compare(&base, &current, &tol).passed(),
+            "median on the value"
+        );
+
+        current[0].compile_time = SampleStats::single(2.0 * (1.0 + tol.compile_time) + 1e-6);
+        let report = compare(&base, &current, &tol);
+        assert!(!report.passed());
+        assert_eq!(
+            report.regressions().next().unwrap().metric,
+            "compile_time_s"
+        );
+
+        current[0].compile_time = SampleStats::single(0.9);
+        let report = compare(&base, &current, &tol);
+        assert!(report.passed());
+        assert!(report
+            .improvements()
+            .any(|c| c.metric == "compile_time_s" && !c.current.is_nan()));
+    }
+
+    #[test]
     fn compile_time_median_ignores_one_outlier_sample() {
         let base = baseline();
         let mut current = base.entries.clone();

@@ -52,6 +52,11 @@ pub const POWERMOVE_MULTI_AOD: &str = "powermove-multi-aod";
 /// Registry id of the with-storage configuration driven by the lookahead
 /// router with a two-stage window.
 pub const POWERMOVE_LOOKAHEAD: &str = "powermove@lookahead2";
+/// Registry id of the with-storage configuration driven by the routing
+/// auto-tuner in portfolio mode: every candidate strategy compiles each
+/// instance and the schedule with the lower movement wall clock wins, so
+/// this variant can never move slower than any portfolio member.
+pub const POWERMOVE_AUTO: &str = "powermove-auto";
 
 /// One registered compilation strategy: a display id plus the backend.
 pub struct RegisteredBackend {
@@ -158,36 +163,49 @@ impl BackendRegistry {
     }
 
     /// Adds the routing-strategy variants of the with-storage configuration:
-    /// [`POWERMOVE_MULTI_AOD`] (the multi-AOD collective-move scheduler,
-    /// gated on the `fig7/multi-aod` shard next to the greedy router) and
-    /// [`POWERMOVE_LOOKAHEAD`] (the two-stage lookahead router). Like the
-    /// standard backends, both pin their pipelines to one worker.
+    /// [`POWERMOVE_MULTI_AOD`] (the multi-AOD collective-move scheduler),
+    /// [`POWERMOVE_LOOKAHEAD`] (the two-stage lookahead router) and
+    /// [`POWERMOVE_AUTO`] (the portfolio auto-tuner; gated with the greedy
+    /// router and the scheduler on the `fig7/multi-aod` shard). Like the
+    /// standard backends, all pin their pipelines to one worker.
+    ///
+    /// Ids follow the usual [`BackendRegistry::register`] uniqueness
+    /// semantics: a user-registered backend under one of the variant ids is
+    /// displaced by the variant (never silently kept alongside it), and the
+    /// displacement is logged to stderr so the collision is visible.
     ///
     /// ```
-    /// use powermove_bench::{BackendRegistry, POWERMOVE_MULTI_AOD};
+    /// use powermove_bench::{BackendRegistry, POWERMOVE_AUTO, POWERMOVE_MULTI_AOD};
     ///
     /// let registry = BackendRegistry::standard().with_routing_variants();
-    /// assert_eq!(registry.len(), 5);
+    /// assert_eq!(registry.len(), 6);
     /// assert!(registry.get(POWERMOVE_MULTI_AOD).is_some());
+    /// assert!(registry.get(POWERMOVE_AUTO).is_some());
     /// ```
     #[must_use]
     pub fn with_routing_variants(mut self) -> Self {
-        self.register(
-            POWERMOVE_MULTI_AOD,
-            Box::new(PowerMoveCompiler::new(
-                CompilerConfig::default()
-                    .with_threads(1)
-                    .with_routing(RoutingConfig::multi_aod()),
-            )),
-        );
-        self.register(
-            POWERMOVE_LOOKAHEAD,
-            Box::new(PowerMoveCompiler::new(
-                CompilerConfig::default()
-                    .with_threads(1)
-                    .with_routing(RoutingConfig::lookahead(2)),
-            )),
-        );
+        let variants: [(&str, RoutingConfig); 3] = [
+            (POWERMOVE_MULTI_AOD, RoutingConfig::multi_aod()),
+            (POWERMOVE_LOOKAHEAD, RoutingConfig::lookahead(2)),
+            (POWERMOVE_AUTO, RoutingConfig::auto()),
+        ];
+        for (id, routing) in variants {
+            let displaced = self.register(
+                id,
+                Box::new(PowerMoveCompiler::new(
+                    CompilerConfig::default()
+                        .with_threads(1)
+                        .with_routing(routing),
+                )),
+            );
+            if let Some(displaced) = displaced {
+                eprintln!(
+                    "powermove-bench: with_routing_variants displaced backend {:?} \
+                     previously registered under {id:?}",
+                    displaced.name()
+                );
+            }
+        }
         self
     }
 
@@ -621,10 +639,12 @@ impl ShardRegistry {
     /// * `fig6/sweep` — Fig. 6 sweep sizes not already covered by Table 2,
     ///   all three standard backends;
     /// * `fig7/multi-aod` — the Fig. 7 instances at 2–4 AOD arrays
-    ///   (`@aods<k>`-suffixed names), compiled under both the greedy
-    ///   with-storage configuration and the multi-AOD scheduler variant
-    ///   ([`POWERMOVE_MULTI_AOD`]), so the gate regression-guards the
-    ///   scheduler's movement-wall-clock win.
+    ///   (`@aods<k>`-suffixed names), compiled under the greedy with-storage
+    ///   configuration, the multi-AOD scheduler variant
+    ///   ([`POWERMOVE_MULTI_AOD`]) and the portfolio auto-tuner
+    ///   ([`POWERMOVE_AUTO`]), so the gate regression-guards both the
+    ///   scheduler's movement-wall-clock win and the auto-tuner matching the
+    ///   per-cell best portfolio member.
     ///
     /// Together the shards cover every gated cell exactly once
     /// (asserted by the workspace test suite).
@@ -692,6 +712,7 @@ impl ShardRegistry {
         let fig7_backends = vec![
             POWERMOVE_STORAGE.to_string(),
             POWERMOVE_MULTI_AOD.to_string(),
+            POWERMOVE_AUTO.to_string(),
         ];
 
         ShardRegistry {
@@ -1128,6 +1149,31 @@ mod tests {
             registry.iter().map(RegisteredBackend::id).last(),
             Some(ENOLA)
         );
+    }
+
+    #[test]
+    fn routing_variants_displace_user_backends_with_colliding_ids() {
+        // A user backend squatting on a variant id is displaced (the
+        // documented `register` semantics), never silently shadowed by — or
+        // kept alongside — the variant.
+        let mut registry = BackendRegistry::standard();
+        registry.register(
+            POWERMOVE_AUTO,
+            Box::new(EnolaCompiler::new(EnolaConfig::default())),
+        );
+        let before = registry.len();
+        let registry = registry.with_routing_variants();
+        assert_eq!(registry.len(), before + 2, "3 variants, 1 id collision");
+        assert_eq!(
+            registry.get(POWERMOVE_AUTO).unwrap().name(),
+            "powermove",
+            "the variant displaced the squatter"
+        );
+        assert!(registry
+            .get(POWERMOVE_AUTO)
+            .unwrap()
+            .config_description()
+            .contains("routing=auto"));
     }
 
     #[test]

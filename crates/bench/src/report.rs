@@ -152,6 +152,54 @@ pub fn read_cells(path: &Path) -> Result<Vec<ParsedCell>, GateError> {
     parse_cells(&text)
 }
 
+/// Like [`parse_cells`], but forgives an **unterminated** malformed final
+/// line — the artifact a SIGKILL leaves when it lands mid-append (the
+/// writer appends one newline-terminated line per cell and flushes it, so
+/// only an unfinished write can leave a tail without its newline). The
+/// valid prefix parses normally and the dropped tail's parse error is
+/// returned alongside it, so callers can warn; the lost cell then surfaces
+/// as MISSING when the merged matrix is gated. A malformed line anywhere
+/// *before* the tail — or a malformed final line that *is*
+/// newline-terminated, which a crash cannot produce — is data corruption,
+/// not a crash artifact, and still fails.
+///
+/// # Errors
+///
+/// Returns [`GateError::Parse`] when the stream is malformed beyond an
+/// unterminated final line.
+pub fn parse_cells_lossy(text: &str) -> Result<(Vec<ParsedCell>, Option<String>), GateError> {
+    match parse_cells(text) {
+        Ok(cells) => Ok((cells, None)),
+        Err(error) => {
+            if text.ends_with('\n') {
+                // Every line made it out whole: whatever is malformed was
+                // written that way.
+                return Err(error);
+            }
+            let prefix = match text.rfind('\n') {
+                Some(newline) => &text[..=newline],
+                None => "",
+            };
+            match parse_cells(prefix) {
+                Ok(cells) => Ok((cells, Some(error.to_string()))),
+                Err(_) => Err(error),
+            }
+        }
+    }
+}
+
+/// Loads one JSONL cell stream with [`parse_cells_lossy`] semantics.
+///
+/// # Errors
+///
+/// Returns [`GateError::Io`] if the file cannot be read, or
+/// [`GateError::Parse`] when more than the final line is malformed.
+pub fn read_cells_lossy(path: &Path) -> Result<(Vec<ParsedCell>, Option<String>), GateError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| GateError::Io(format!("{}: {e}", path.display())))?;
+    parse_cells_lossy(&text)
+}
+
 /// Reassembles shard part-files into canonical full-matrix order: shards in
 /// registry order (unknown shard names after the known ones, alphabetically),
 /// then cells by run-order index. Rejects duplicate `(shard, index)` cells —
@@ -180,9 +228,22 @@ pub fn merge_cells(
     });
     for pair in cells.windows(2) {
         if pair[0].shard == pair[1].shard && pair[0].index == pair[1].index {
+            // Name the offending cell, not just its stream coordinates:
+            // the operator greps the verdict table by compiler/benchmark.
+            let label = |key: &str| {
+                pair[0]
+                    .result
+                    .get(key)
+                    .and_then(Value::as_str)
+                    .unwrap_or("?")
+                    .to_string()
+            };
             return Err(GateError::Parse(format!(
-                "duplicate cell {}#{} — was the same shard report passed twice?",
-                pair[0].shard, pair[0].index
+                "duplicate cell {}#{} ({} on {}) — was the same shard report passed twice?",
+                pair[0].shard,
+                pair[0].index,
+                label("compiler"),
+                label("benchmark")
             )));
         }
     }
@@ -284,7 +345,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_rejects_duplicate_cells() {
+    fn merge_rejects_duplicate_cells_naming_the_offender() {
         let result = sample_result();
         let value = serde_json::to_value(&result);
         let cell = ParsedCell {
@@ -294,7 +355,85 @@ mod tests {
         };
         let shards = ShardRegistry::standard(DEFAULT_SEED);
         let err = merge_cells(vec![vec![cell.clone()], vec![cell]], &shards).unwrap_err();
-        assert!(err.to_string().contains("duplicate"), "{err}");
+        let message = err.to_string();
+        assert!(message.contains("duplicate"), "{message}");
+        assert!(message.contains("table2/small#3"), "{message}");
+        // The offending cell is named, not just its stream coordinates.
+        assert!(message.contains("enola"), "{message}");
+        assert!(message.contains(&result.benchmark), "{message}");
+    }
+
+    #[test]
+    fn duplicate_detection_survives_results_without_name_fields() {
+        let cell = ParsedCell {
+            shard: "table2/small".to_string(),
+            index: 0,
+            result: Value::Object(vec![]),
+        };
+        let shards = ShardRegistry::standard(DEFAULT_SEED);
+        let err = merge_cells(vec![vec![cell.clone()], vec![cell]], &shards).unwrap_err();
+        assert!(err.to_string().contains("? on ?"), "{err}");
+    }
+
+    #[test]
+    fn lossy_parse_keeps_the_valid_prefix_of_a_torn_stream() {
+        let result = sample_result();
+        let path = temp_path("lossy");
+        let writer = ReportWriter::create(&path);
+        writer.append("fig6/sweep", 0, &result);
+        writer.append("fig6/sweep", 1, &result);
+        drop(writer);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let first_len = text.find('\n').unwrap() + 1;
+
+        // SIGKILL mid-append: half of line 2 survives. Strict parsing
+        // errors; lossy parsing keeps line 1 and reports the dropped tail.
+        let torn = &text[..first_len + 40];
+        assert!(parse_cells(torn).is_err());
+        let (cells, dropped) = parse_cells_lossy(torn).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].index, 0);
+        assert!(dropped.unwrap().contains("line 2"));
+
+        // Garbage bytes as the tail line behave the same way …
+        let garbage = format!("{}not json at all", &text[..first_len]);
+        let (cells, dropped) = parse_cells_lossy(&garbage).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert!(dropped.is_some());
+
+        // … a clean stream reports nothing dropped …
+        let (cells, dropped) = parse_cells_lossy(&text).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(dropped.is_none());
+
+        // … corruption before the final line is not a crash artifact …
+        let mid_corrupt = format!("broken\n{}", &text[first_len..]);
+        assert!(parse_cells_lossy(&mid_corrupt).is_err());
+
+        // … and neither is a malformed final line that was fully written
+        // out (newline-terminated): the per-line flush means a crash can
+        // only leave an unterminated tail.
+        let terminated_bad = format!("{}{{\"index\": 0}}\n", &text[..first_len]);
+        assert!(parse_cells_lossy(&terminated_bad).is_err());
+    }
+
+    #[test]
+    fn read_cells_lossy_round_trips_through_a_file() {
+        let result = sample_result();
+        let path = temp_path("lossy-file");
+        let writer = ReportWriter::create(&path);
+        writer.append("table2/small", 0, &result);
+        drop(writer);
+        // Append a torn half-line as a crash would.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"shard\": \"table2/sm");
+        std::fs::write(&path, &text).unwrap();
+        let (cells, dropped) = read_cells_lossy(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(cells.len(), 1);
+        assert!(dropped.is_some());
+        assert!(read_cells_lossy(&PathBuf::from("/nonexistent/x.jsonl")).is_err());
     }
 
     #[test]

@@ -251,6 +251,39 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_quartiles_are_the_sample_not_nan() {
+        // n = 1: both Tukey hinges are the lone sample — never NaN, and the
+        // notch formula degenerates to zero width instead of dividing into
+        // an empty half.
+        let stats = SampleStats::single(4.0);
+        let (q1, q3) = stats.quartiles();
+        assert_eq!((q1, q3), (4.0, 4.0));
+        assert!(!q1.is_nan() && !q3.is_nan());
+        assert_eq!(stats.median(), 4.0);
+    }
+
+    #[test]
+    fn two_samples_clamp_the_notch_to_the_observed_range() {
+        // n = 2: IQR is the full range and the 1.58/sqrt(2) factor pushes
+        // the raw notch outside [min, max]; the interval must clamp, not
+        // extrapolate, and no summary may be NaN.
+        let stats = SampleStats::from_samples(vec![3.0, 1.0]);
+        assert_eq!(stats.median(), 2.0);
+        let (q1, q3) = stats.quartiles();
+        assert_eq!((q1, q3), (1.0, 3.0));
+        assert!(!q1.is_nan() && !q3.is_nan());
+        let raw_half = CI_FACTOR * (q3 - q1) / 2.0_f64.sqrt();
+        assert!(raw_half > 1.0, "the raw notch would overflow the range");
+        let (lo, hi) = stats.ci();
+        assert_eq!((lo, hi), (1.0, 3.0));
+        assert!(lo <= stats.median() && stats.median() <= hi);
+        // Equal pair: zero-width interval, still no NaN anywhere.
+        let flat = SampleStats::from_samples(vec![2.0, 2.0]);
+        assert_eq!(flat.quartiles(), (2.0, 2.0));
+        assert_eq!(flat.ci(), (2.0, 2.0));
+    }
+
+    #[test]
     fn identical_samples_have_zero_width() {
         let stats = SampleStats::from_samples(vec![2.0, 2.0, 2.0]);
         assert_eq!(stats.median(), 2.0);

@@ -140,15 +140,7 @@ fn has_cross_group_vacate_dependency(groups: &[Vec<SiteMove>]) -> bool {
 
 /// Total wall clock of a packed instruction sequence's move groups.
 fn movement_duration(instructions: &[Instruction], arch: &Architecture) -> f64 {
-    instructions
-        .iter()
-        .map(|i| match i {
-            Instruction::MoveGroup { coll_moves } => {
-                powermove_schedule::move_group_duration(coll_moves, arch)
-            }
-            _ => 0.0,
-        })
-        .sum()
+    powermove_schedule::movement_wall_clock(instructions, arch)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::pipeline::{
     CompileContext, CompilerBackend, MovePass, RoutePass, StagePass, SynthesisPass,
 };
-use crate::routing::RoutingStrategy;
+use crate::routing::{AutoRouter, RoutingStrategy};
 use crate::{CompileError, CompilerConfig};
 use powermove_circuit::{BlockProgram, Circuit};
 use powermove_exec::{Parallelism, ThreadPool};
@@ -68,7 +68,7 @@ impl fmt::Debug for PowerMoveCompiler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PowerMoveCompiler")
             .field("config", &self.config)
-            .field("strategy", &self.routing_strategy().name())
+            .field("strategy", &self.strategy_name())
             .finish()
     }
 }
@@ -113,12 +113,27 @@ impl PowerMoveCompiler {
     }
 
     /// The active routing strategy: the registered override, or the one
-    /// built from [`CompilerConfig::routing`](crate::CompilerConfig).
+    /// built from [`CompilerConfig::routing`](crate::CompilerConfig). For an
+    /// auto-tuning configuration this is the portfolio's greedy baseline
+    /// (see [`RoutingConfig::build`](crate::RoutingConfig::build)) — the
+    /// actual per-instance selection happens inside
+    /// [`PowerMoveCompiler::compile`] through [`AutoRouter`].
     #[must_use]
     pub fn routing_strategy(&self) -> Arc<dyn RoutingStrategy> {
         self.strategy
             .clone()
             .unwrap_or_else(|| self.config.routing.build())
+    }
+
+    /// The display name of the active routing configuration: the registered
+    /// override's name, or the configured strategy kind (`"auto"` /
+    /// `"auto-model"` for auto-tuning configurations).
+    #[must_use]
+    pub fn strategy_name(&self) -> &str {
+        match &self.strategy {
+            Some(strategy) => strategy.name(),
+            None => self.config.routing.strategy.name(),
+        }
     }
 
     /// Compiles a circuit for the given architecture.
@@ -167,14 +182,31 @@ impl PowerMoveCompiler {
         // pass drains, and `threads == 1` (or `POWERMOVE_THREADS=1`) runs
         // the passes inline with byte-identical output.
         let pool = ThreadPool::new(Parallelism::from_setting(self.config.threads));
-        let strategy = self.routing_strategy();
         let staged = StagePass::new(self.config.alpha).run(block_program, &pool, &mut ctx);
-        let routed = RoutePass::new(self.config.use_storage)
-            .with_strategy(strategy.clone())
-            .run(&staged, arch, &mut ctx)?;
-        let instructions = MovePass::new(self.config.use_grouping)
-            .with_strategy(strategy)
-            .run(&routed, arch, &pool, &mut ctx);
+        // An auto-tuning configuration (no custom override) is resolved per
+        // instance: the AutoRouter picks the winning portfolio strategy and
+        // records it in the metadata. Every other configuration runs the
+        // fixed strategy through the same two passes.
+        let (routed, instructions) =
+            if self.strategy.is_none() && self.config.routing.strategy.is_auto() {
+                AutoRouter::from_config(&self.config.routing).run(
+                    &staged,
+                    arch,
+                    self.config.use_storage,
+                    self.config.use_grouping,
+                    &pool,
+                    &mut ctx,
+                )?
+            } else {
+                let strategy = self.routing_strategy();
+                let routed = RoutePass::new(self.config.use_storage)
+                    .with_strategy(strategy.clone())
+                    .run(&staged, arch, &mut ctx)?;
+                let instructions = MovePass::new(self.config.use_grouping)
+                    .with_strategy(strategy)
+                    .run(&routed, arch, &pool, &mut ctx);
+                (routed, instructions)
+            };
 
         let metadata = ctx.finish(
             "powermove",
@@ -203,7 +235,7 @@ impl CompilerBackend for PowerMoveCompiler {
             self.config.use_storage,
             self.config.alpha,
             self.config.use_grouping,
-            self.routing_strategy().name()
+            self.strategy_name()
         )
     }
 
@@ -342,6 +374,24 @@ mod tests {
         assert!(validate(&program).is_ok());
         let debug = format!("{compiler:?}");
         assert!(debug.contains("lookahead"));
+    }
+
+    #[test]
+    fn auto_routing_selects_per_instance_and_names_itself() {
+        use crate::RoutingConfig;
+        let compiler =
+            PowerMoveCompiler::new(CompilerConfig::default().with_routing(RoutingConfig::auto()));
+        assert_eq!(compiler.strategy_name(), "auto");
+        assert!(compiler.config_description().contains("routing=auto"));
+        let arch = Architecture::for_qubits(12).with_num_aods(3);
+        let program = compiler.compile(&ring_circuit(12), &arch).unwrap();
+        assert!(validate(&program).is_ok());
+        assert!(program.metadata().selected_strategy.is_some());
+        // A custom override beats the auto configuration.
+        let pinned = compiler.with_strategy(std::sync::Arc::new(crate::GreedyRouter));
+        assert_eq!(pinned.strategy_name(), "greedy");
+        let program = pinned.compile(&ring_circuit(12), &arch).unwrap();
+        assert!(program.metadata().selected_strategy.is_none());
     }
 
     #[test]

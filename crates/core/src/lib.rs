@@ -17,7 +17,10 @@
 //!   collective moves ([`RoutingState`], [`group_moves`]). Built-ins:
 //!   the paper's [`GreedyRouter`] (Sec. 5), a [`LookaheadRouter`] scoring
 //!   sites against upcoming stages, and a [`MultiAodScheduler`] that
-//!   balances move windows across the machine's AOD arrays;
+//!   balances move windows across the machine's AOD arrays — plus an
+//!   auto-tuning layer ([`AutoRouter`], [`CostModel`]) that selects the
+//!   winning strategy per instance, by portfolio compilation or cost-model
+//!   prediction;
 //! * the **coll-move scheduler** (Sec. 6): orders collective moves to
 //!   maximize storage-zone dwell time and packs them onto multiple AOD
 //!   arrays ([`order_coll_moves`], [`pack_move_groups`],
@@ -79,8 +82,9 @@ pub use pipeline::{
     RoutedStage, StagePass, StagedProgram, StagedSegment, SynthesisPass,
 };
 pub use routing::{
-    greedy_move_schedule, group_stage_moves, GreedyRouter, LookaheadRouter, MultiAodScheduler,
-    RoutingState, RoutingStrategy, SiteBias, StageRouting,
+    greedy_move_schedule, group_stage_moves, movement_wall_clock, AutoRouter, CostModel,
+    GreedyRouter, InstanceFeatures, LookaheadRouter, MultiAodScheduler, RoutingState,
+    RoutingStrategy, SiteBias, StageRouting,
 };
 pub use stage_partition::{partition_stages, Stage};
 pub use stage_schedule::schedule_stages;

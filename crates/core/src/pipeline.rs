@@ -136,6 +136,7 @@ pub struct CompileContext {
     started: Option<Instant>,
     timings: Vec<PassTiming>,
     counters: Vec<PassCounter>,
+    selected_strategy: Option<String>,
 }
 
 impl CompileContext {
@@ -146,6 +147,7 @@ impl CompileContext {
             started: Some(Instant::now()),
             timings: Vec::new(),
             counters: Vec::new(),
+            selected_strategy: None,
         }
     }
 
@@ -176,6 +178,25 @@ impl CompileContext {
         for counter in other.counters {
             self.count(&counter.name, counter.value);
         }
+        if self.selected_strategy.is_none() {
+            self.selected_strategy = other.selected_strategy;
+        }
+    }
+
+    /// Records the routing strategy an auto-tuning layer selected for this
+    /// program; folded into [`CompileMetadata::selected_strategy`] at
+    /// emission. Later calls overwrite earlier ones.
+    ///
+    /// [`CompileMetadata::selected_strategy`]: powermove_schedule::CompileMetadata
+    pub fn select_strategy(&mut self, name: &str) {
+        self.selected_strategy = Some(name.to_string());
+    }
+
+    /// The routing strategy recorded by [`CompileContext::select_strategy`],
+    /// if any.
+    #[must_use]
+    pub fn selected_strategy(&self) -> Option<&str> {
+        self.selected_strategy.as_deref()
     }
 
     /// Runs `f`, attributing its wall-clock time to the named pass.
@@ -238,6 +259,7 @@ impl CompileContext {
             uses_storage,
             num_stages,
             num_aods,
+            selected_strategy: self.selected_strategy,
             pass_timings: self.timings,
             counters: self.counters,
         }
@@ -894,6 +916,27 @@ mod tests {
         let ctx = CompileContext::scratch();
         let metadata = ctx.finish("x", false, 0, 1);
         assert!(metadata.compile_time.is_none());
+    }
+
+    #[test]
+    fn selected_strategy_survives_merge_and_finish() {
+        let mut ctx = CompileContext::new();
+        assert_eq!(ctx.selected_strategy(), None);
+        ctx.select_strategy("multi-aod");
+        assert_eq!(ctx.selected_strategy(), Some("multi-aod"));
+        // A merged scratch never overwrites an existing selection …
+        let mut scratch = CompileContext::scratch();
+        scratch.select_strategy("greedy");
+        ctx.merge(scratch);
+        assert_eq!(ctx.selected_strategy(), Some("multi-aod"));
+        // … but fills an empty one.
+        let mut fresh = CompileContext::new();
+        let mut scratch = CompileContext::scratch();
+        scratch.select_strategy("lookahead");
+        fresh.merge(scratch);
+        assert_eq!(fresh.selected_strategy(), Some("lookahead"));
+        let metadata = ctx.finish("powermove", true, 0, 1);
+        assert_eq!(metadata.selected_strategy.as_deref(), Some("multi-aod"));
     }
 
     #[test]

@@ -1,0 +1,450 @@
+//! The routing auto-tuner: per-instance selection over the built-in
+//! strategy portfolio.
+//!
+//! PR 4 made routing pluggable; this layer makes picking the winning
+//! strategy automatic. [`AutoRouter`] is a **program-level** selector, not a
+//! per-stage [`RoutingStrategy`]: the pass pipeline
+//! hands it the staged program and it returns the routed program plus
+//! instruction stream of the winning candidate. Two modes, selected by
+//! [`RoutingStrategyKind::Auto`]'s `portfolio` flag:
+//!
+//! * **portfolio** (`portfolio: true`, [`RoutingConfig::auto`]) — every
+//!   candidate compiles the instance (fanned out over the `powermove-exec`
+//!   thread pool, one scratch [`CompileContext`] per candidate, merged back
+//!   in candidate order so the result is byte-identical at any worker
+//!   count) and the schedule with the lower movement wall clock wins; ties
+//!   break to fewer SLM↔AOD transfers, then to the earlier candidate —
+//!   greedy first. The winner can therefore never be worse than any
+//!   portfolio member on movement wall clock.
+//! * **cost model** (`portfolio: false`, [`RoutingConfig::auto_model`]) —
+//!   the [`CostModel`] predicts each candidate's movement wall clock from
+//!   [`InstanceFeatures`] and only the predicted winner compiles.
+//!
+//! Either way the winning strategy's name lands in
+//! [`CompileMetadata::selected_strategy`] and the number of candidate
+//! compiles in the [`AutoRouter::PORTFOLIO_COUNTER`] pass counter, so bench
+//! reports and diagnostics can attribute the decision.
+//!
+//! [`RoutingStrategyKind::Auto`]: crate::RoutingStrategyKind::Auto
+//! [`RoutingConfig::auto`]: crate::RoutingConfig::auto
+//! [`RoutingConfig::auto_model`]: crate::RoutingConfig::auto_model
+//! [`CompileMetadata::selected_strategy`]: powermove_schedule::CompileMetadata
+
+use crate::config::RoutingConfig;
+use crate::pipeline::{CompileContext, MovePass, RoutePass, RoutedProgram, StagedProgram};
+use crate::routing::cost::{CostModel, InstanceFeatures};
+use crate::routing::{GreedyRouter, LookaheadRouter, MultiAodScheduler, RoutingStrategy};
+use crate::CompileError;
+use powermove_exec::{Parallelism, ThreadPool};
+use powermove_hardware::Architecture;
+use powermove_schedule::{movement_wall_clock, Instruction};
+use std::sync::Arc;
+
+/// The per-instance routing auto-tuner (see the module docs).
+pub struct AutoRouter {
+    portfolio: bool,
+    model: CostModel,
+    // Each candidate carries the kind the cost model scores it under, so
+    // the model and the compiled strategy can never drift apart by index.
+    candidates: Vec<(crate::RoutingStrategyKind, Arc<dyn RoutingStrategy>)>,
+}
+
+impl AutoRouter {
+    /// Name of the pass counter recording how many candidate compiles the
+    /// auto-tuner performed for one program (the portfolio size in portfolio
+    /// mode, one in cost-model mode).
+    pub const PORTFOLIO_COUNTER: &'static str = "portfolio_compiles";
+
+    /// Builds the auto-tuner from a routing configuration: the candidate
+    /// portfolio is the greedy router, the lookahead router with
+    /// `config.lookahead`, and the multi-AOD scheduler with
+    /// `config.aod_assignment` — in that order, which is also the
+    /// tie-breaking preference.
+    #[must_use]
+    pub fn from_config(config: &RoutingConfig) -> Self {
+        AutoRouter {
+            portfolio: matches!(
+                config.strategy,
+                crate::RoutingStrategyKind::Auto { portfolio: true }
+            ),
+            model: CostModel::new(),
+            candidates: vec![
+                (crate::RoutingStrategyKind::Greedy, Arc::new(GreedyRouter)),
+                (
+                    crate::RoutingStrategyKind::Lookahead,
+                    Arc::new(LookaheadRouter::new(config.lookahead)),
+                ),
+                (
+                    crate::RoutingStrategyKind::MultiAod,
+                    Arc::new(MultiAodScheduler::new(config.aod_assignment)),
+                ),
+            ],
+        }
+    }
+
+    /// Whether every candidate is compiled (portfolio mode) instead of only
+    /// the cost model's predicted winner.
+    #[must_use]
+    pub fn is_portfolio(&self) -> bool {
+        self.portfolio
+    }
+
+    /// The candidate strategies with the kinds the cost model scores them
+    /// under, in tie-breaking preference order.
+    #[must_use]
+    pub fn candidates(&self) -> &[(crate::RoutingStrategyKind, Arc<dyn RoutingStrategy>)] {
+        &self.candidates
+    }
+
+    /// Routes and schedules `staged` with the selected strategy, recording
+    /// the selection in `ctx` (see the module docs for both modes).
+    ///
+    /// Candidate compiles run concurrently on `pool` with one scratch
+    /// context each; scratches merge back in candidate order, so timing and
+    /// counter layout — like the emitted program — is identical for every
+    /// worker count. Merged counters report **total work across candidates**
+    /// (three route passes in portfolio mode), mirroring how parallel passes
+    /// report total work time.
+    ///
+    /// # Errors
+    ///
+    /// In portfolio mode a candidate that fails to route is dropped from
+    /// the selection — the error (first in candidate order) surfaces only
+    /// when **every** candidate fails, so auto compiles whenever any
+    /// portfolio member does. Cost-model mode compiles one candidate and
+    /// returns its [`CompileError`] directly.
+    pub fn run(
+        &self,
+        staged: &StagedProgram,
+        arch: &Architecture,
+        use_storage: bool,
+        use_grouping: bool,
+        pool: &ThreadPool,
+        ctx: &mut CompileContext,
+    ) -> Result<(RoutedProgram, Vec<Instruction>), CompileError> {
+        if !self.portfolio {
+            let features = InstanceFeatures::of(staged, arch);
+            let strategy = self.predicted_winner(&features);
+            ctx.count(Self::PORTFOLIO_COUNTER, 1);
+            ctx.select_strategy(strategy.name());
+            let routed = RoutePass::new(use_storage)
+                .with_strategy(strategy.clone())
+                .run(staged, arch, ctx)?;
+            let instructions = MovePass::new(use_grouping)
+                .with_strategy(strategy.clone())
+                .run(&routed, arch, pool, ctx);
+            return Ok((routed, instructions));
+        }
+
+        // Portfolio mode: each candidate compiles sequentially inside one
+        // pool job (its own RoutePass is sequential by construction and its
+        // MovePass runs inline), so the per-candidate output is
+        // deterministic and the cross-candidate fan-out is where the
+        // parallelism lives.
+        let jobs: Vec<Arc<dyn RoutingStrategy>> = self
+            .candidates
+            .iter()
+            .map(|(_, strategy)| strategy.clone())
+            .collect();
+        let compiled = pool.par_map(jobs, |strategy| {
+            let mut scratch = CompileContext::scratch();
+            let inline = ThreadPool::new(Parallelism::fixed(1));
+            let result = RoutePass::new(use_storage)
+                .with_strategy(strategy.clone())
+                .run(staged, arch, &mut scratch)
+                .map(|routed| {
+                    let instructions = MovePass::new(use_grouping)
+                        .with_strategy(strategy.clone())
+                        .run(&routed, arch, &inline, &mut scratch);
+                    (routed, instructions)
+                });
+            (result, scratch)
+        });
+
+        let mut outcomes = Vec::with_capacity(compiled.len());
+        for (result, scratch) in compiled {
+            ctx.merge(scratch);
+            outcomes.push(result);
+        }
+        ctx.count(Self::PORTFOLIO_COUNTER, self.candidates.len() as u64);
+
+        let mut best: Option<(usize, RoutedProgram, Vec<Instruction>, f64, usize)> = None;
+        let mut first_error = None;
+        for (index, result) in outcomes.into_iter().enumerate() {
+            // A candidate that fails to route is dropped from the
+            // selection, not fatal: the auto configuration compiles
+            // whenever any portfolio member does, so it can never be worse
+            // than a weaker fixed configuration that would have survived.
+            let (routed, instructions) = match result {
+                Ok(compiled) => compiled,
+                Err(error) => {
+                    first_error.get_or_insert(error);
+                    continue;
+                }
+            };
+            let movement = movement_wall_clock(&instructions, arch);
+            let transfers: usize = instructions.iter().map(Instruction::transfer_count).sum();
+            let better = match &best {
+                None => true,
+                Some((_, _, _, best_movement, best_transfers)) => {
+                    movement < *best_movement
+                        || (movement == *best_movement && transfers < *best_transfers)
+                }
+            };
+            if better {
+                best = Some((index, routed, instructions, movement, transfers));
+            }
+        }
+        match best {
+            Some((index, routed, instructions, _, _)) => {
+                ctx.select_strategy(self.candidates[index].1.name());
+                Ok((routed, instructions))
+            }
+            None => Err(first_error.expect("the portfolio is never empty")),
+        }
+    }
+
+    /// The candidate the cost model predicts to move fastest; prediction
+    /// ties keep the earlier candidate (greedy first).
+    fn predicted_winner(&self, features: &InstanceFeatures) -> &Arc<dyn RoutingStrategy> {
+        let mut winner = &self.candidates[0].1;
+        let mut winner_cost = f64::INFINITY;
+        for (kind, strategy) in &self.candidates {
+            let cost = self.model.predict(*kind, features);
+            if cost < winner_cost {
+                winner = strategy;
+                winner_cost = cost;
+            }
+        }
+        winner
+    }
+}
+
+impl std::fmt::Debug for AutoRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AutoRouter")
+            .field("portfolio", &self.portfolio)
+            .field(
+                "candidates",
+                &self
+                    .candidates
+                    .iter()
+                    .map(|(_, strategy)| strategy.name().to_string())
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{StagePass, SynthesisPass};
+    use crate::{CompilerConfig, PowerMoveCompiler, RoutingConfig};
+    use powermove_circuit::{Circuit, Qubit};
+    use powermove_fidelity::evaluate_program;
+    use powermove_schedule::{validate, CompiledProgram};
+
+    fn q(i: u32) -> Qubit {
+        Qubit::new(i)
+    }
+
+    fn ring_circuit(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.h(q(i)).unwrap();
+        }
+        for i in 0..n {
+            c.cz(q(i), q((i + 1) % n)).unwrap();
+        }
+        c
+    }
+
+    fn compile(routing: RoutingConfig, n: u32, aods: usize) -> CompiledProgram {
+        let arch = Architecture::for_qubits(n).with_num_aods(aods);
+        PowerMoveCompiler::new(CompilerConfig::default().with_routing(routing))
+            .compile(&ring_circuit(n), &arch)
+            .unwrap()
+    }
+
+    #[test]
+    fn from_config_builds_the_three_candidate_portfolio() {
+        let auto = AutoRouter::from_config(&RoutingConfig::auto());
+        assert!(auto.is_portfolio());
+        let names: Vec<&str> = auto
+            .candidates()
+            .iter()
+            .map(|(_, strategy)| strategy.name())
+            .collect();
+        let kinds: Vec<&str> = auto
+            .candidates()
+            .iter()
+            .map(|(kind, _)| kind.name())
+            .collect();
+        assert_eq!(
+            names, kinds,
+            "each candidate is scored under its own strategy's kind"
+        );
+        assert_eq!(names, vec!["greedy", "lookahead", "multi-aod"]);
+        assert!(!AutoRouter::from_config(&RoutingConfig::auto_model()).is_portfolio());
+        let debug = format!("{auto:?}");
+        assert!(debug.contains("portfolio: true") && debug.contains("multi-aod"));
+    }
+
+    #[test]
+    fn portfolio_never_moves_slower_than_any_member() {
+        for aods in [1_usize, 2, 3, 4] {
+            let auto = compile(RoutingConfig::auto(), 12, aods);
+            assert!(validate(&auto).is_ok());
+            let t_auto = movement_wall_clock(auto.instructions(), auto.architecture());
+            for member in [
+                RoutingConfig::greedy(),
+                RoutingConfig::lookahead(2),
+                RoutingConfig::multi_aod(),
+            ] {
+                let program = compile(member, 12, aods);
+                let t_member = movement_wall_clock(program.instructions(), program.architecture());
+                assert!(
+                    t_auto <= t_member + 1e-12,
+                    "{aods} aods: auto {t_auto} vs {:?} {t_member}",
+                    member.strategy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_records_selection_and_compile_count() {
+        let program = compile(RoutingConfig::auto(), 12, 3);
+        let metadata = program.metadata();
+        let selected = metadata.selected_strategy.as_deref().expect("recorded");
+        assert!(["greedy", "lookahead", "multi-aod"].contains(&selected));
+        assert_eq!(metadata.counter(AutoRouter::PORTFOLIO_COUNTER), Some(3));
+    }
+
+    #[test]
+    fn model_mode_records_a_single_compile() {
+        let program = compile(RoutingConfig::auto_model(), 12, 3);
+        assert!(validate(&program).is_ok());
+        assert_eq!(
+            program.metadata().counter(AutoRouter::PORTFOLIO_COUNTER),
+            Some(1)
+        );
+        // At three AODs the model predicts the multi-AOD scheduler.
+        assert_eq!(
+            program.metadata().selected_strategy.as_deref(),
+            Some("multi-aod")
+        );
+    }
+
+    #[test]
+    fn auto_output_is_byte_identical_across_worker_counts() {
+        let arch = Architecture::for_qubits(12).with_num_aods(3);
+        let circuit = ring_circuit(12);
+        let bytes = |threads: usize| {
+            let program = PowerMoveCompiler::new(
+                CompilerConfig::default()
+                    .with_routing(RoutingConfig::auto())
+                    .with_threads(threads),
+            )
+            .compile(&circuit, &arch)
+            .unwrap();
+            (
+                format!("{:?}", program.instructions()),
+                format!("{:?}", program.metadata().counters),
+                program.metadata().selected_strategy.clone(),
+            )
+        };
+        let reference = bytes(1);
+        for threads in [2, 4] {
+            assert_eq!(reference, bytes(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn movement_wall_clock_matches_the_trace_simulator() {
+        let program = compile(RoutingConfig::auto(), 10, 2);
+        let trace = evaluate_program(&program).unwrap().trace;
+        let direct = movement_wall_clock(program.instructions(), program.architecture());
+        assert!((direct - trace.movement_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn portfolio_falls_back_to_surviving_candidates() {
+        use crate::routing::{RoutingState, StageRouting};
+        use crate::Stage;
+
+        // A candidate that can never route: the portfolio must drop it and
+        // select among the survivors instead of failing a compile a plain
+        // greedy configuration would have survived.
+        struct AlwaysFails;
+        impl crate::RoutingStrategy for AlwaysFails {
+            fn name(&self) -> &str {
+                "always-fails"
+            }
+            fn route_stage(
+                &self,
+                _state: &mut RoutingState,
+                stage: &Stage,
+                _upcoming: &[Stage],
+            ) -> Result<StageRouting, CompileError> {
+                Err(CompileError::NoFreeSite {
+                    qubit: stage.gates()[0].lo(),
+                    zone: powermove_hardware::Zone::Compute,
+                })
+            }
+        }
+
+        let broken_first = AutoRouter {
+            portfolio: true,
+            model: CostModel::new(),
+            candidates: vec![
+                (crate::RoutingStrategyKind::Lookahead, Arc::new(AlwaysFails)),
+                (crate::RoutingStrategyKind::Greedy, Arc::new(GreedyRouter)),
+            ],
+        };
+        let arch = Architecture::for_qubits(8);
+        let mut ctx = CompileContext::new();
+        let blocks = SynthesisPass.run(&ring_circuit(8), &mut ctx);
+        let pool = ThreadPool::new(Parallelism::fixed(2));
+        let staged = StagePass::new(0.5).run(&blocks, &pool, &mut ctx);
+        let (_, instructions) = broken_first
+            .run(&staged, &arch, true, true, &pool, &mut ctx)
+            .expect("the surviving greedy candidate wins");
+        assert!(!instructions.is_empty());
+        assert_eq!(ctx.selected_strategy(), Some("greedy"));
+
+        // Every candidate failing surfaces the first error in order.
+        let all_broken = AutoRouter {
+            portfolio: true,
+            model: CostModel::new(),
+            candidates: vec![(crate::RoutingStrategyKind::Greedy, Arc::new(AlwaysFails))],
+        };
+        let result = all_broken.run(
+            &staged,
+            &arch,
+            true,
+            true,
+            &pool,
+            &mut CompileContext::new(),
+        );
+        assert!(matches!(result, Err(CompileError::NoFreeSite { .. })));
+    }
+
+    #[test]
+    fn empty_programs_select_greedy_by_tie_break() {
+        let arch = Architecture::for_qubits(3);
+        let auto = AutoRouter::from_config(&RoutingConfig::auto());
+        let mut ctx = CompileContext::new();
+        let blocks = SynthesisPass.run(&Circuit::new(3), &mut ctx);
+        let pool = ThreadPool::new(Parallelism::fixed(2));
+        let staged = StagePass::new(0.5).run(&blocks, &pool, &mut ctx);
+        let (routed, instructions) = auto
+            .run(&staged, &arch, true, true, &pool, &mut ctx)
+            .unwrap();
+        assert_eq!(routed.segments().len(), 0);
+        assert!(instructions.is_empty());
+        let metadata = ctx.finish("powermove", true, 0, 1);
+        assert_eq!(metadata.selected_strategy.as_deref(), Some("greedy"));
+    }
+}

@@ -1,0 +1,332 @@
+//! The routing cost model: predicting per-strategy movement wall clock from
+//! cheap instance features.
+//!
+//! Auto-tuning in cost-model mode ([`RoutingStrategyKind::Auto`] with
+//! `portfolio: false`) must pick a strategy *without* compiling the
+//! candidates, so the model works from features that are O(program size) to
+//! extract from a staged program: qubit count, CZ-block count and density,
+//! the stage count, and the resolved AOD-array count. The prediction is an
+//! analytic estimate of the schedule's movement wall clock — parallel move
+//! windows × (two trap transfers + a typical translation) — with
+//! per-strategy correction factors mirroring what each strategy actually
+//! changes:
+//!
+//! * the greedy router is the baseline;
+//! * the lookahead router shortens translations on deep CZ blocks (it parks
+//!   re-pairing qubits between their future partners) and changes nothing on
+//!   single-stage blocks;
+//! * the multi-AOD scheduler balances translation durations across windows,
+//!   compressing the translation tail by roughly `1/√k` at `k ≥ 2` AODs and
+//!   changing nothing at one AOD.
+//!
+//! The model is a heuristic: its job is to *rank* the portfolio cheaply, not
+//! to forecast microseconds. Exact selection is portfolio mode, which
+//! compiles every candidate and measures instead of predicting.
+//!
+//! [`RoutingStrategyKind::Auto`]: crate::RoutingStrategyKind::Auto
+
+use crate::config::RoutingStrategyKind;
+use crate::pipeline::{StagedProgram, StagedSegment};
+use powermove_hardware::{move_duration, Architecture};
+
+/// Average number of single-qubit moves the grouper packs into one
+/// collective move, used to estimate window counts.
+const MOVES_PER_GROUP: f64 = 4.0;
+
+/// Translation-tail compression the balanced multi-AOD windows achieve per
+/// additional AOD array: the factor is `1 / aods^BALANCE_EXPONENT`.
+const BALANCE_EXPONENT: f64 = 0.5;
+
+/// Relative translation shortening credited to the lookahead router on CZ
+/// blocks deep enough for its window to matter.
+const LOOKAHEAD_GAIN: f64 = 0.03;
+
+/// Cheap per-instance features the [`CostModel`] predicts from.
+///
+/// Extracted from a staged program in one linear scan
+/// ([`InstanceFeatures::of`]); every field is deterministic, so model-mode
+/// auto-tuning stays byte-identical run to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstanceFeatures {
+    /// Circuit width in qubits.
+    pub num_qubits: u32,
+    /// Number of commuting CZ blocks.
+    pub cz_blocks: usize,
+    /// Total number of CZ gates.
+    pub cz_gates: usize,
+    /// CZ density: gates per qubit, the knob that separates shallow from
+    /// movement-heavy workloads.
+    pub cz_density: f64,
+    /// Rydberg stage count of the staged program (exact after
+    /// [`StagePass`](crate::StagePass); an estimate of the schedule shape).
+    pub stages: usize,
+    /// Resolved AOD-array count of the target architecture.
+    pub num_aods: usize,
+    /// Duration of one SLM↔AOD trap transfer, in seconds.
+    pub transfer_duration: f64,
+    /// Typical single translation duration, in seconds: one inter-zone hop
+    /// plus a grid diagonal scaled by the qubit count.
+    pub typical_translation: f64,
+}
+
+impl InstanceFeatures {
+    /// Extracts the features of a staged program targeting `arch`.
+    #[must_use]
+    pub fn of(staged: &StagedProgram, arch: &Architecture) -> Self {
+        let mut cz_blocks = 0;
+        let mut cz_gates = 0;
+        for segment in staged.segments() {
+            if let StagedSegment::Stages(stages) = segment {
+                cz_blocks += 1;
+                cz_gates += stages.iter().map(crate::Stage::len).sum::<usize>();
+            }
+        }
+        let num_qubits = staged.num_qubits();
+        let params = arch.params();
+        let typical_distance = params.zone_gap + params.site_spacing * f64::from(num_qubits).sqrt();
+        InstanceFeatures {
+            num_qubits,
+            cz_blocks,
+            cz_gates,
+            cz_density: if num_qubits == 0 {
+                0.0
+            } else {
+                cz_gates as f64 / f64::from(num_qubits)
+            },
+            stages: staged.num_stages(),
+            num_aods: arch.num_aods(),
+            transfer_duration: params.transfer_duration,
+            typical_translation: move_duration(typical_distance, params.max_acceleration),
+        }
+    }
+
+    /// Average stage depth of a CZ block — how far a lookahead window can
+    /// usefully see.
+    #[must_use]
+    pub fn stages_per_block(&self) -> f64 {
+        if self.cz_blocks == 0 {
+            0.0
+        } else {
+            self.stages as f64 / self.cz_blocks as f64
+        }
+    }
+}
+
+/// Predicts each routing strategy's movement wall clock from
+/// [`InstanceFeatures`], so model-mode auto-tuning can pick a strategy with
+/// zero extra compiles.
+///
+/// The model is deliberately simple (see the module docs); portfolio mode
+/// exists precisely because a model can be wrong on an unusual instance.
+///
+/// # Example
+///
+/// At two or more AOD arrays the balanced multi-AOD windows are predicted —
+/// and measured, on the gated fig7 shard — to move faster than the greedy
+/// chunking:
+///
+/// ```
+/// use powermove::routing::cost::{CostModel, InstanceFeatures};
+/// use powermove::RoutingStrategyKind;
+///
+/// let features = InstanceFeatures {
+///     num_qubits: 40,
+///     cz_blocks: 2,
+///     cz_gates: 60,
+///     cz_density: 1.5,
+///     stages: 8,
+///     num_aods: 3,
+///     transfer_duration: 15e-6,
+///     typical_translation: 200e-6,
+/// };
+/// let model = CostModel::new();
+/// assert!(
+///     model.predict(RoutingStrategyKind::MultiAod, &features)
+///         < model.predict(RoutingStrategyKind::Greedy, &features)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostModel;
+
+impl CostModel {
+    /// Creates the default model.
+    #[must_use]
+    pub fn new() -> Self {
+        CostModel
+    }
+
+    /// Predicted movement wall clock, in seconds, of compiling the instance
+    /// described by `features` under the given strategy kind.
+    ///
+    /// [`RoutingStrategyKind::Auto`] is not itself a candidate; asking for
+    /// its cost returns the best prediction over the concrete candidates
+    /// (what a perfect selector would achieve).
+    #[must_use]
+    pub fn predict(&self, kind: RoutingStrategyKind, features: &InstanceFeatures) -> f64 {
+        let stages = features.stages as f64;
+        if stages == 0.0 {
+            return 0.0;
+        }
+        // Interaction moves dominate: roughly two per CZ gate, plus the
+        // parking traffic proportional to the idle fraction per stage.
+        let moves_per_stage =
+            2.0 * features.cz_gates as f64 / stages + 0.5 * f64::from(features.num_qubits);
+        let groups_per_stage = (moves_per_stage / MOVES_PER_GROUP).max(1.0);
+        let windows_per_stage = (groups_per_stage / features.num_aods as f64).ceil();
+        let window = |translation: f64| 2.0 * features.transfer_duration + translation;
+        let baseline = stages * windows_per_stage * window(features.typical_translation);
+        match kind {
+            RoutingStrategyKind::Greedy => baseline,
+            RoutingStrategyKind::Lookahead => {
+                // The window only helps when blocks are deeper than one
+                // stage and qubits actually re-pair (density above one edge
+                // per qubit).
+                let depth_gain = (features.stages_per_block() - 1.0).clamp(0.0, 1.0);
+                let density_gain = (features.cz_density - 1.0).clamp(0.0, 1.0);
+                let translation = features.typical_translation
+                    * (1.0 - LOOKAHEAD_GAIN * depth_gain * density_gain);
+                stages * windows_per_stage * window(translation)
+            }
+            RoutingStrategyKind::MultiAod => {
+                let balance = 1.0 / (features.num_aods as f64).powf(BALANCE_EXPONENT);
+                stages * windows_per_stage * window(features.typical_translation * balance)
+            }
+            RoutingStrategyKind::Auto { .. } => [
+                RoutingStrategyKind::Greedy,
+                RoutingStrategyKind::Lookahead,
+                RoutingStrategyKind::MultiAod,
+            ]
+            .into_iter()
+            .map(|k| self.predict(k, features))
+            .fold(f64::INFINITY, f64::min),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{StagePass, SynthesisPass};
+    use powermove_circuit::{Circuit, Qubit};
+    use powermove_exec::{Parallelism, ThreadPool};
+
+    fn features(n: u32, aods: usize) -> InstanceFeatures {
+        let mut circuit = Circuit::new(n);
+        for i in 0..n {
+            circuit.cz(Qubit::new(i), Qubit::new((i + 1) % n)).unwrap();
+        }
+        for i in 0..n / 2 {
+            circuit.cz(Qubit::new(i), Qubit::new(i + n / 2)).unwrap();
+        }
+        let arch = Architecture::for_qubits(n).with_num_aods(aods);
+        let mut ctx = crate::CompileContext::new();
+        let blocks = SynthesisPass.run(&circuit, &mut ctx);
+        let staged =
+            StagePass::new(0.5).run(&blocks, &ThreadPool::new(Parallelism::fixed(1)), &mut ctx);
+        InstanceFeatures::of(&staged, &arch)
+    }
+
+    #[test]
+    fn features_capture_the_staged_shape() {
+        let f = features(12, 3);
+        assert_eq!(f.num_qubits, 12);
+        assert_eq!(f.cz_blocks, 1);
+        assert_eq!(f.cz_gates, 18);
+        assert!((f.cz_density - 1.5).abs() < 1e-12);
+        assert!(f.stages >= 3);
+        assert_eq!(f.num_aods, 3);
+        assert!(f.transfer_duration > 0.0);
+        assert!(f.typical_translation > 0.0);
+        assert!(f.stages_per_block() >= 3.0);
+    }
+
+    #[test]
+    fn predictions_are_finite_and_positive_for_nonempty_instances() {
+        let f = features(10, 2);
+        for kind in [
+            RoutingStrategyKind::Greedy,
+            RoutingStrategyKind::Lookahead,
+            RoutingStrategyKind::MultiAod,
+            RoutingStrategyKind::Auto { portfolio: false },
+        ] {
+            let p = CostModel::new().predict(kind, &f);
+            assert!(p.is_finite() && p > 0.0, "{kind:?}: {p}");
+        }
+    }
+
+    #[test]
+    fn multi_aod_wins_at_two_plus_aods_and_ties_greedy_at_one() {
+        let model = CostModel::new();
+        for aods in [2, 3, 4] {
+            let f = features(16, aods);
+            assert!(
+                model.predict(RoutingStrategyKind::MultiAod, &f)
+                    < model.predict(RoutingStrategyKind::Greedy, &f),
+                "{aods} aods"
+            );
+        }
+        let single = features(16, 1);
+        assert_eq!(
+            model.predict(RoutingStrategyKind::MultiAod, &single),
+            model.predict(RoutingStrategyKind::Greedy, &single)
+        );
+    }
+
+    #[test]
+    fn lookahead_never_predicts_slower_than_greedy() {
+        let model = CostModel::new();
+        for n in [8, 16, 40] {
+            let f = features(n, 1);
+            assert!(
+                model.predict(RoutingStrategyKind::Lookahead, &f)
+                    <= model.predict(RoutingStrategyKind::Greedy, &f)
+            );
+        }
+    }
+
+    #[test]
+    fn auto_kind_predicts_the_portfolio_minimum() {
+        let model = CostModel::new();
+        let f = features(16, 3);
+        let best = [
+            RoutingStrategyKind::Greedy,
+            RoutingStrategyKind::Lookahead,
+            RoutingStrategyKind::MultiAod,
+        ]
+        .into_iter()
+        .map(|k| model.predict(k, &f))
+        .fold(f64::INFINITY, f64::min);
+        assert_eq!(
+            model.predict(RoutingStrategyKind::Auto { portfolio: true }, &f),
+            best
+        );
+    }
+
+    #[test]
+    fn empty_programs_predict_zero_movement() {
+        let arch = Architecture::for_qubits(3);
+        let mut ctx = crate::CompileContext::new();
+        let blocks = SynthesisPass.run(&Circuit::new(3), &mut ctx);
+        let staged =
+            StagePass::new(0.5).run(&blocks, &ThreadPool::new(Parallelism::fixed(1)), &mut ctx);
+        let f = InstanceFeatures::of(&staged, &arch);
+        assert_eq!(f.stages, 0);
+        assert_eq!(f.stages_per_block(), 0.0);
+        assert_eq!(
+            CostModel::new().predict(RoutingStrategyKind::Greedy, &f),
+            0.0
+        );
+    }
+
+    #[test]
+    fn cost_grows_with_stage_count() {
+        let model = CostModel::new();
+        let shallow = features(8, 1);
+        let mut deep = shallow;
+        deep.stages = shallow.stages * 4;
+        assert!(
+            model.predict(RoutingStrategyKind::Greedy, &deep)
+                > model.predict(RoutingStrategyKind::Greedy, &shallow)
+        );
+    }
+}

@@ -22,6 +22,13 @@
 //! | [`LookaheadRouter`] | scores sites against the next *k* stages | dwell-ordered chunks |
 //! | [`MultiAodScheduler`] | greedy | duration-balanced per-AOD windows |
 //!
+//! On top of the per-stage strategies sits the **auto-tuning layer**
+//! ([`auto`], [`cost`]): [`RoutingStrategyKind::Auto`] makes the pipeline
+//! select the winning strategy *per instance*, either by compiling the whole
+//! portfolio and keeping the fastest-moving schedule ([`AutoRouter`] in
+//! portfolio mode) or by trusting a [`CostModel`] prediction from cheap
+//! instance features.
+//!
 //! Custom strategies drop in through
 //! [`PowerMoveCompiler::with_strategy`](crate::PowerMoveCompiler::with_strategy);
 //! everything downstream — timeline validation, the fidelity model's
@@ -31,15 +38,24 @@
 //! [`CompilerBackend`]: crate::CompilerBackend
 //! [`RoutePass`]: crate::RoutePass
 //! [`MovePass`]: crate::MovePass
+//! [`RoutingStrategyKind::Auto`]: crate::RoutingStrategyKind::Auto
 
+pub mod auto;
+pub mod cost;
 mod greedy;
 mod lookahead;
 mod multi_aod;
 mod state;
 
+pub use auto::AutoRouter;
+pub use cost::{CostModel, InstanceFeatures};
 pub use greedy::GreedyRouter;
 pub use lookahead::LookaheadRouter;
 pub use multi_aod::MultiAodScheduler;
+// The canonical movement fold lives in the schedule layer next to
+// `move_group_duration`; re-exported here because routing selection is its
+// primary consumer.
+pub use powermove_schedule::movement_wall_clock;
 pub use state::{RoutingState, SiteBias, StageRouting};
 
 use crate::config::{RoutingConfig, RoutingStrategyKind};
@@ -138,10 +154,19 @@ pub fn group_stage_moves(
 
 impl RoutingConfig {
     /// Instantiates the configured built-in strategy.
+    ///
+    /// [`RoutingStrategyKind::Auto`] is a program-level decision, not a
+    /// per-stage strategy: the pass pipeline intercepts it and dispatches to
+    /// [`AutoRouter`] instead of calling this. For callers that need *some*
+    /// per-stage strategy regardless (e.g. driving a
+    /// [`RoutePass`](crate::RoutePass) by hand),
+    /// an auto configuration builds the portfolio's greedy baseline.
     #[must_use]
     pub fn build(&self) -> Arc<dyn RoutingStrategy> {
         match self.strategy {
-            RoutingStrategyKind::Greedy => Arc::new(GreedyRouter),
+            RoutingStrategyKind::Greedy | RoutingStrategyKind::Auto { .. } => {
+                Arc::new(GreedyRouter)
+            }
             RoutingStrategyKind::Lookahead => Arc::new(LookaheadRouter::new(self.lookahead)),
             RoutingStrategyKind::MultiAod => Arc::new(MultiAodScheduler::new(self.aod_assignment)),
         }
@@ -166,6 +191,10 @@ mod tests {
             ..RoutingConfig::default()
         };
         assert_eq!(chunked.build().name(), "multi-aod");
+        // Auto is resolved by the pipeline; the per-stage fallback is the
+        // portfolio's greedy baseline.
+        assert_eq!(RoutingConfig::auto().build().name(), "greedy");
+        assert_eq!(RoutingConfig::auto_model().build().name(), "greedy");
     }
 
     #[test]

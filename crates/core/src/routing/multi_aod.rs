@@ -107,7 +107,7 @@ mod tests {
     use super::*;
     use powermove_circuit::{CzGate, Qubit};
     use powermove_hardware::{Architecture, Zone};
-    use powermove_schedule::{move_group_duration, Layout};
+    use powermove_schedule::Layout;
 
     fn q(i: u32) -> Qubit {
         Qubit::new(i)
@@ -123,13 +123,7 @@ mod tests {
     }
 
     fn movement_time(instructions: &[Instruction], arch: &Architecture) -> f64 {
-        instructions
-            .iter()
-            .map(|i| match i {
-                Instruction::MoveGroup { coll_moves } => move_group_duration(coll_moves, arch),
-                _ => 0.0,
-            })
-            .sum()
+        powermove_schedule::movement_wall_clock(instructions, arch)
     }
 
     #[test]

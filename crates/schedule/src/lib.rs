@@ -49,6 +49,8 @@ pub use instruction::{CollMove, Instruction, SiteMove};
 pub use layout::Layout;
 pub use program::{CompileMetadata, CompiledProgram, PassCounter, PassTiming};
 pub use timeline::{AodWindow, EventKind, Timeline, TimelineEvent};
-pub use timing::{instruction_duration, move_group_duration, one_qubit_layer_duration};
+pub use timing::{
+    instruction_duration, move_group_duration, movement_wall_clock, one_qubit_layer_duration,
+};
 pub use trace::{simulate, ExecutionTrace};
 pub use validate::validate;

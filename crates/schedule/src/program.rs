@@ -38,6 +38,10 @@ pub struct CompileMetadata {
     /// `Architecture::num_aods`, so bench reports record the count that
     /// actually drove multi-AOD packing). Zero when unrecorded.
     pub num_aods: usize,
+    /// Name of the routing strategy an auto-tuning compiler selected for
+    /// this program (e.g. `"multi-aod"`). `None` when the strategy was fixed
+    /// by configuration rather than chosen per instance.
+    pub selected_strategy: Option<String>,
     /// Per-pass wall-clock timings, in pipeline order.
     pub pass_timings: Vec<PassTiming>,
     /// Work counters accumulated by the passes.
@@ -294,6 +298,7 @@ mod tests {
             uses_storage: true,
             num_stages: 1,
             num_aods: 2,
+            selected_strategy: Some("multi-aod".to_string()),
             pass_timings: vec![
                 PassTiming {
                     pass: "stage".to_string(),
@@ -313,6 +318,7 @@ mod tests {
         assert_eq!(p.metadata().compile_time, Some(0.5));
         assert!(p.metadata().uses_storage);
         assert_eq!(p.metadata().num_aods, 2);
+        assert_eq!(p.metadata().selected_strategy.as_deref(), Some("multi-aod"));
         assert_eq!(p.metadata().pass_seconds("route"), Some(0.3));
         assert_eq!(p.metadata().pass_seconds("moves"), None);
         assert_eq!(p.metadata().counter("coll_moves"), Some(4));

@@ -34,6 +34,21 @@ pub fn move_group_duration(coll_moves: &[CollMove], arch: &Architecture) -> f64 
     2.0 * arch.params().transfer_duration + max_move
 }
 
+/// Total movement wall clock of an instruction sequence, in seconds: the
+/// sum of every move group's duration. This is exactly the quantity the
+/// trace simulator accumulates as `movement_time` — the slice of the
+/// execution time multi-AOD scheduling and routing auto-tuning compress.
+#[must_use]
+pub fn movement_wall_clock(instructions: &[Instruction], arch: &Architecture) -> f64 {
+    instructions
+        .iter()
+        .map(|instruction| match instruction {
+            Instruction::MoveGroup { coll_moves } => move_group_duration(coll_moves, arch),
+            _ => 0.0,
+        })
+        .sum()
+}
+
 /// Duration of one instruction, in seconds.
 #[must_use]
 pub fn instruction_duration(instruction: &Instruction, arch: &Architecture) -> f64 {

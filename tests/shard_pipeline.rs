@@ -16,8 +16,8 @@
 use powermove_bench::{
     compare, merge_cells, parse_cells, read_cells, run_instance, run_instance_sampled, run_shard,
     BackendRegistry, Baseline, BaselineEntry, GateTolerance, ReportWriter, RunResult, ShardCell,
-    ShardRegistry, SuiteShard, DEFAULT_SEED, ENOLA, LARGE_SHARD_QUBITS, POWERMOVE_MULTI_AOD,
-    POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE,
+    ShardRegistry, SuiteShard, DEFAULT_SEED, ENOLA, LARGE_SHARD_QUBITS, POWERMOVE_AUTO,
+    POWERMOVE_MULTI_AOD, POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE,
 };
 use powermove_suite::benchmarks::{generate, table2_suite, BenchmarkFamily};
 use serde_json::Value;
@@ -68,7 +68,8 @@ fn standard_shards_are_a_disjoint_exact_cover_of_the_gated_suite() {
 
     // Exact cover: the union is precisely Table 2 under the three standard
     // backends, plus the Fig. 6 sweep extras under the three backends, plus
-    // the Fig. 7 multi-AOD grid under the with-storage backend.
+    // the Fig. 7 multi-AOD grid under the greedy with-storage, multi-AOD
+    // scheduler and portfolio auto-tuner backends.
     let standard = [ENOLA, POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE];
     let mut expected: BTreeSet<(String, String)> = BTreeSet::new();
     let table2_names: Vec<String> = table2_suite(DEFAULT_SEED)
@@ -94,7 +95,7 @@ fn standard_shards_are_a_disjoint_exact_cover_of_the_gated_suite() {
     for (family, n) in powermove_bench::fig7_cases() {
         let base = generate(family, n, DEFAULT_SEED).name;
         for aods in 2..=4 {
-            for backend in [POWERMOVE_STORAGE, POWERMOVE_MULTI_AOD] {
+            for backend in [POWERMOVE_STORAGE, POWERMOVE_MULTI_AOD, POWERMOVE_AUTO] {
                 expected.insert((backend.to_string(), format!("{base}@aods{aods}")));
             }
         }
