@@ -532,6 +532,21 @@ pub fn fig7_cases() -> [(BenchmarkFamily, u32); 5] {
     ]
 }
 
+/// The compile-request mix driven through the compile service by its smoke
+/// test and the `powermove_client` example: the Fig. 7 families at reduced
+/// widths, so a hundred-request burst (with repeats for cache hits) stays
+/// fast enough for CI while still exercising every benchmark generator.
+#[must_use]
+pub fn service_smoke_cells() -> [(BenchmarkFamily, u32); 5] {
+    [
+        (BenchmarkFamily::QaoaRegular3, 20),
+        (BenchmarkFamily::QsimRand, 12),
+        (BenchmarkFamily::Qft, 10),
+        (BenchmarkFamily::Vqe, 16),
+        (BenchmarkFamily::Bv, 20),
+    ]
+}
+
 /// One cell row of a shard: a benchmark instance plus the AOD-array count it
 /// is compiled for.
 #[derive(Debug, Clone, PartialEq, Serialize)]

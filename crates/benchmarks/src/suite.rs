@@ -39,6 +39,27 @@ impl BenchmarkFamily {
         BenchmarkFamily::Vqe,
         BenchmarkFamily::QsimRand,
     ];
+
+    /// Parses a family from its display name, case-insensitively.
+    ///
+    /// This is the inverse of the [`fmt::Display`] rendering and the form
+    /// the compile service accepts in request frames:
+    ///
+    /// ```
+    /// use powermove_benchmarks::BenchmarkFamily;
+    /// assert_eq!(
+    ///     BenchmarkFamily::from_name("qaoa-regular3"),
+    ///     Some(BenchmarkFamily::QaoaRegular3)
+    /// );
+    /// assert_eq!(BenchmarkFamily::from_name("QFT"), Some(BenchmarkFamily::Qft));
+    /// assert_eq!(BenchmarkFamily::from_name("nope"), None);
+    /// ```
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|family| family.to_string().eq_ignore_ascii_case(name))
+    }
 }
 
 impl fmt::Display for BenchmarkFamily {

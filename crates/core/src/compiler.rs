@@ -1,16 +1,112 @@
 //! The end-to-end PowerMove compilation pipeline.
 
 use crate::pipeline::{
-    CompileContext, CompilerBackend, MovePass, RoutePass, StagePass, SynthesisPass,
+    CompileContext, CompilerBackend, MovePass, RoutePass, StagePass, StagedProgram, SynthesisPass,
 };
 use crate::routing::{AutoRouter, RoutingStrategy};
 use crate::{CompileError, CompilerConfig};
 use powermove_circuit::{BlockProgram, Circuit};
 use powermove_exec::{Parallelism, ThreadPool};
 use powermove_hardware::Architecture;
-use powermove_schedule::CompiledProgram;
+use powermove_schedule::{CompiledProgram, PassCounter, PassTiming};
 use std::fmt;
 use std::sync::Arc;
+
+/// Compiles a circuit for an architecture under a configuration — the pure
+/// front door of the pipeline.
+///
+/// Compilation is a **pure function** of this immutable input triple: the
+/// compiler holds no hidden pipeline state, so equal triples always emit
+/// byte-identical programs (modulo wall-clock pass timings, which are
+/// measurements, not content). That purity is what makes the emitted
+/// program cacheable by [`content_hash`](crate::content_hash) — the basis
+/// of the `powermove-service` schedule cache — and identical concurrent
+/// requests safely coalescible onto one compile.
+///
+/// # Example
+///
+/// ```
+/// use powermove::CompilerConfig;
+/// use powermove_circuit::{Circuit, Qubit};
+/// use powermove_hardware::Architecture;
+/// use powermove_schedule::canonical_program_bytes;
+///
+/// # fn main() -> Result<(), powermove::CompileError> {
+/// let mut circuit = Circuit::new(2);
+/// circuit.cz(Qubit::new(0), Qubit::new(1))?;
+/// let arch = Architecture::for_qubits(2);
+/// let config = CompilerConfig::default();
+///
+/// let once = powermove::compile(&circuit, &arch, &config)?;
+/// let again = powermove::compile(&circuit, &arch, &config)?;
+/// assert_eq!(
+///     canonical_program_bytes(&once),
+///     canonical_program_bytes(&again),
+/// );
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Same as [`PowerMoveCompiler::compile`].
+pub fn compile(
+    circuit: &Circuit,
+    arch: &Architecture,
+    config: &CompilerConfig,
+) -> Result<CompiledProgram, CompileError> {
+    PowerMoveCompiler::new(*config).compile(circuit, arch)
+}
+
+/// A frozen staged IR: the output of the compiler front end
+/// ([`PowerMoveCompiler::stage`]) and the input of the back end
+/// ([`PowerMoveCompiler::emit`]).
+///
+/// The IR is immutable and architecture-independent — synthesis and stage
+/// partitioning depend only on the circuit and the configuration — so one
+/// staged IR can be emitted for several architectures (different AOD
+/// counts, grids or physical parameters) without re-running the front end.
+/// It carries the front end's pass timings and work counters along, so a
+/// program emitted from a staged IR reports the same deterministic
+/// counters as one produced by the all-in-one [`PowerMoveCompiler::compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedIr {
+    staged: StagedProgram,
+    timings: Vec<PassTiming>,
+    counters: Vec<PassCounter>,
+}
+
+impl StagedIr {
+    /// The staged program.
+    #[must_use]
+    pub fn staged(&self) -> &StagedProgram {
+        &self.staged
+    }
+
+    /// Program width in qubits.
+    #[must_use]
+    pub fn num_qubits(&self) -> u32 {
+        self.staged.num_qubits()
+    }
+
+    /// Total number of Rydberg stages across all CZ blocks.
+    #[must_use]
+    pub fn num_stages(&self) -> usize {
+        self.staged.num_stages()
+    }
+
+    /// Pass timings recorded by the front end (synthesis + staging).
+    #[must_use]
+    pub fn front_end_timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
+    /// Work counters recorded by the front end.
+    #[must_use]
+    pub fn front_end_counters(&self) -> &[PassCounter] {
+        &self.counters
+    }
+}
 
 /// The PowerMove compiler.
 ///
@@ -170,6 +266,75 @@ impl PowerMoveCompiler {
         self.compile_with_context(block_program, arch, ctx)
     }
 
+    /// Runs the compiler front end: synthesis plus stage partitioning.
+    ///
+    /// The result is a frozen, architecture-independent [`StagedIr`] that
+    /// [`PowerMoveCompiler::emit`] lowers onto a concrete machine. Staging
+    /// once and emitting many times skips the front end on every
+    /// architecture after the first:
+    ///
+    /// ```
+    /// use powermove::{CompilerConfig, PowerMoveCompiler};
+    /// use powermove_circuit::{Circuit, Qubit};
+    /// use powermove_hardware::Architecture;
+    ///
+    /// # fn main() -> Result<(), powermove::CompileError> {
+    /// let mut circuit = Circuit::new(4);
+    /// circuit.cz(Qubit::new(0), Qubit::new(1))?;
+    /// circuit.cz(Qubit::new(2), Qubit::new(3))?;
+    /// let compiler = PowerMoveCompiler::new(CompilerConfig::default());
+    ///
+    /// let ir = compiler.stage(&circuit);
+    /// assert_eq!(ir.num_qubits(), 4);
+    /// for aods in [1, 2, 4] {
+    ///     let arch = Architecture::for_qubits(4).with_num_aods(aods);
+    ///     let program = compiler.emit(&ir, &arch)?;
+    ///     assert_eq!(program.cz_gate_count(), 2);
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn stage(&self, circuit: &Circuit) -> StagedIr {
+        // A scratch context: no end-to-end clock is running, so the IR
+        // carries only per-pass records. `emit` starts the program clock.
+        let mut ctx = CompileContext::scratch();
+        let block_program = SynthesisPass.run(circuit, &mut ctx);
+        let pool = ThreadPool::new(Parallelism::from_setting(self.config.threads));
+        let staged = StagePass::new(self.config.alpha).run(&block_program, &pool, &mut ctx);
+        let (timings, counters) = ctx.into_parts();
+        StagedIr {
+            staged,
+            timings,
+            counters,
+        }
+    }
+
+    /// Runs the compiler back end: routing, move grouping and emission of a
+    /// staged IR onto a concrete architecture.
+    ///
+    /// The emitted program's metadata folds in the front-end timings and
+    /// counters carried by the IR, so it reports the same deterministic
+    /// counters as an all-in-one [`PowerMoveCompiler::compile`] of the
+    /// original circuit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PowerMoveCompiler::compile`].
+    pub fn emit(
+        &self,
+        ir: &StagedIr,
+        arch: &Architecture,
+    ) -> Result<CompiledProgram, CompileError> {
+        arch.check_capacity(ir.num_qubits())?;
+        let mut ctx = CompileContext::new();
+        ctx.merge(CompileContext::from_parts(
+            ir.timings.clone(),
+            ir.counters.clone(),
+        ));
+        self.emit_staged(&ir.staged, arch, ctx)
+    }
+
     /// Runs the `StagePass → RoutePass → MovePass → emission` tail of the
     /// pipeline over an existing [`CompileContext`].
     fn compile_with_context(
@@ -183,6 +348,18 @@ impl PowerMoveCompiler {
         // the passes inline with byte-identical output.
         let pool = ThreadPool::new(Parallelism::from_setting(self.config.threads));
         let staged = StagePass::new(self.config.alpha).run(block_program, &pool, &mut ctx);
+        self.emit_staged(&staged, arch, ctx)
+    }
+
+    /// Runs the `RoutePass → MovePass → emission` back end over an existing
+    /// [`CompileContext`].
+    fn emit_staged(
+        &self,
+        staged: &StagedProgram,
+        arch: &Architecture,
+        mut ctx: CompileContext,
+    ) -> Result<CompiledProgram, CompileError> {
+        let pool = ThreadPool::new(Parallelism::from_setting(self.config.threads));
         // An auto-tuning configuration (no custom override) is resolved per
         // instance: the AutoRouter picks the winning portfolio strategy and
         // records it in the metadata. Every other configuration runs the
@@ -190,7 +367,7 @@ impl PowerMoveCompiler {
         let (routed, instructions) =
             if self.strategy.is_none() && self.config.routing.strategy.is_auto() {
                 AutoRouter::from_config(&self.config.routing).run(
-                    &staged,
+                    staged,
                     arch,
                     self.config.use_storage,
                     self.config.use_grouping,
@@ -201,7 +378,7 @@ impl PowerMoveCompiler {
                 let strategy = self.routing_strategy();
                 let routed = RoutePass::new(self.config.use_storage)
                     .with_strategy(strategy.clone())
-                    .run(&staged, arch, &mut ctx)?;
+                    .run(staged, arch, &mut ctx)?;
                 let instructions = MovePass::new(self.config.use_grouping)
                     .with_strategy(strategy)
                     .run(&routed, arch, &pool, &mut ctx);

@@ -1,0 +1,152 @@
+//! Content addressing for compile requests.
+//!
+//! A compile is a pure function of the immutable `(circuit, architecture,
+//! config)` triple — no hidden pipeline state survives between calls — so
+//! the triple's canonical serialized form is a complete identity for the
+//! emitted program. [`content_hash`] condenses that form into a stable
+//! 64-bit key that the compile service uses to address its schedule cache
+//! and to coalesce identical in-flight requests.
+
+use crate::CompilerConfig;
+use powermove_circuit::Circuit;
+use powermove_hardware::Architecture;
+use powermove_schedule::{canonical_json, fnv1a_64};
+use std::fmt;
+
+/// A deterministic identity for one compile request.
+///
+/// Equal triples always hash equal, across processes and machines: the hash
+/// is FNV-1a 64 over the canonical JSON of each component
+/// ([`powermove_schedule::canonical_json`]), with an unambiguous separator
+/// between components so `(ab, c)` and `(a, bc)` cannot collide by
+/// concatenation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(u64);
+
+impl ContentHash {
+    /// The raw 64-bit hash value.
+    #[must_use]
+    pub const fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// The 16-hex-digit rendering used as cache key and in service frames.
+    #[must_use]
+    pub fn hex(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Hashes a compile request's `(circuit, architecture, config)` triple into
+/// its content address.
+///
+/// # Example
+///
+/// Identical triples produce identical hashes; changing any component
+/// changes the hash:
+///
+/// ```
+/// use powermove::{content_hash, CompilerConfig};
+/// use powermove_circuit::{Circuit, Qubit};
+/// use powermove_hardware::Architecture;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut circuit = Circuit::new(2);
+/// circuit.cz(Qubit::new(0), Qubit::new(1))?;
+/// let arch = Architecture::for_qubits(2);
+/// let config = CompilerConfig::default();
+///
+/// let key = content_hash(&circuit, &arch, &config);
+/// assert_eq!(key, content_hash(&circuit, &arch, &config));
+/// assert_ne!(
+///     key,
+///     content_hash(&circuit, &arch.with_num_aods(2), &config)
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn content_hash(
+    circuit: &Circuit,
+    arch: &Architecture,
+    config: &CompilerConfig,
+) -> ContentHash {
+    // The '\n' separator cannot occur inside a component: compact JSON
+    // escapes raw newlines, so component boundaries are unambiguous.
+    let canonical = format!(
+        "{}\n{}\n{}",
+        canonical_json(circuit),
+        canonical_json(arch),
+        canonical_json(config),
+    );
+    ContentHash(fnv1a_64(canonical.as_bytes()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::Qubit;
+
+    fn ring(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.cz(Qubit::new(i), Qubit::new((i + 1) % n)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn equal_triples_hash_equal() {
+        let a = content_hash(
+            &ring(6),
+            &Architecture::for_qubits(6),
+            &CompilerConfig::default(),
+        );
+        let b = content_hash(
+            &ring(6),
+            &Architecture::for_qubits(6),
+            &CompilerConfig::default(),
+        );
+        assert_eq!(a, b);
+        assert_eq!(a.hex(), b.hex());
+        assert_eq!(a.hex().len(), 16);
+        assert_eq!(a.hex(), format!("{:016x}", a.value()));
+    }
+
+    #[test]
+    fn every_component_contributes() {
+        let circuit = ring(6);
+        let arch = Architecture::for_qubits(6);
+        let config = CompilerConfig::default();
+        let base = content_hash(&circuit, &arch, &config);
+        assert_ne!(base, content_hash(&ring(8), &arch, &config));
+        assert_ne!(
+            base,
+            content_hash(&circuit, &arch.clone().with_num_aods(3), &config)
+        );
+        assert_ne!(
+            base,
+            content_hash(&circuit, &arch, &CompilerConfig::without_storage())
+        );
+    }
+
+    #[test]
+    fn threads_knob_changes_the_key_conservatively() {
+        // The worker count does not change the emitted program, but it is
+        // part of the config struct and therefore of the key: the cache
+        // trades a few redundant entries for a key that can never alias two
+        // different configurations.
+        let circuit = ring(4);
+        let arch = Architecture::for_qubits(4);
+        assert_ne!(
+            content_hash(&circuit, &arch, &CompilerConfig::default()),
+            content_hash(&circuit, &arch, &CompilerConfig::default().with_threads(2))
+        );
+    }
+}

@@ -35,6 +35,15 @@
 //! experiment harness drives this compiler, the Enola baseline and any
 //! future strategy uniformly.
 //!
+//! Compilation is a pure function of the immutable `(circuit, architecture,
+//! config)` triple — the free function [`compile`] is the canonical entry
+//! point. The pipeline is split into a front end
+//! ([`PowerMoveCompiler::stage`], producing a frozen [`StagedIr`]) and a
+//! back end ([`PowerMoveCompiler::emit`]), and [`content_hash`] derives a
+//! deterministic cache key from the input triple; together these are the
+//! foundation of the `powermove-service` compile daemon and its
+//! content-addressed schedule cache.
+//!
 //! # Example
 //!
 //! ```
@@ -64,6 +73,7 @@
 mod collmove;
 mod compiler;
 mod config;
+mod content;
 mod error;
 mod grouping;
 pub mod pipeline;
@@ -73,8 +83,9 @@ mod stage_schedule;
 mod stats;
 
 pub use collmove::{order_coll_moves, pack_move_groups, pack_move_groups_balanced};
-pub use compiler::PowerMoveCompiler;
+pub use compiler::{compile, PowerMoveCompiler, StagedIr};
 pub use config::{AodAssignment, CompilerConfig, RoutingConfig, RoutingStrategyKind};
+pub use content::{content_hash, ContentHash};
 pub use error::CompileError;
 pub use grouping::group_moves;
 pub use pipeline::{

@@ -162,11 +162,44 @@ impl CompileContext {
         CompileContext::default()
     }
 
+    /// Rebuilds a scratch context from previously recorded timings and
+    /// counters.
+    ///
+    /// This is the bridge that lets a frozen front-end IR
+    /// ([`StagedIr`](crate::StagedIr)) carry its pass records into a later
+    /// back-end context: `emit` merges the reconstructed context into a
+    /// fresh one, so the emitted metadata matches an all-in-one compile.
+    #[must_use]
+    pub fn from_parts(timings: Vec<PassTiming>, counters: Vec<PassCounter>) -> Self {
+        CompileContext {
+            started: None,
+            timings,
+            counters,
+            selected_strategy: None,
+        }
+    }
+
+    /// Decomposes the context into its recorded timings and counters,
+    /// discarding the clock and any selected strategy. Inverse of
+    /// [`CompileContext::from_parts`].
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<PassTiming>, Vec<PassCounter>) {
+        (self.timings, self.counters)
+    }
+
     /// Accumulates another context's timings and counters into this one.
     ///
-    /// Entries merge by name (summing), and previously unseen names keep the
-    /// order in which they are first encountered, so merging worker contexts
-    /// in input order yields a deterministic metadata layout.
+    /// **Merge ordering.** Entries merge by name (summing values), and
+    /// previously unseen names are appended in the order they are first
+    /// encountered. Accumulated *values* are therefore order-independent —
+    /// merging worker contexts in any order yields the same totals — but the
+    /// *entry order* reflects merge order, which varies with the worker
+    /// count and scheduling. Callers that need a reproducible layout should
+    /// not rely on it here: [`CompileContext::finish`] sorts pass timings
+    /// into canonical pipeline order before folding them into metadata, so
+    /// the emitted [`CompileMetadata`] is stable across worker counts. The
+    /// first merged `selected_strategy` wins, so merging scratch contexts in
+    /// input order keeps strategy attribution deterministic.
     pub fn merge(&mut self, other: CompileContext) {
         for timing in other.timings {
             if let Some(entry) = self.timings.iter_mut().find(|t| t.pass == timing.pass) {
@@ -245,6 +278,12 @@ impl CompileContext {
     /// Folds the context into program metadata, closing the end-to-end
     /// clock. `num_aods` records the resolved AOD-array count the schedule
     /// was packed for, so bench reports can attribute multi-AOD results.
+    ///
+    /// Pass timings are sorted into canonical pipeline order (synthesis,
+    /// stage, route, moves, then any other passes alphabetically) so the
+    /// metadata layout is identical across worker counts — parallel passes
+    /// merge worker contexts in completion-dependent order, which would
+    /// otherwise leak into the diagnostics output.
     #[must_use]
     pub fn finish(
         self,
@@ -253,6 +292,21 @@ impl CompileContext {
         num_stages: usize,
         num_aods: usize,
     ) -> CompileMetadata {
+        fn pipeline_rank(pass: &str) -> usize {
+            match pass {
+                SynthesisPass::NAME => 0,
+                StagePass::NAME => 1,
+                RoutePass::NAME => 2,
+                MovePass::NAME => 3,
+                _ => 4,
+            }
+        }
+        let mut pass_timings = self.timings;
+        pass_timings.sort_by(|a, b| {
+            pipeline_rank(&a.pass)
+                .cmp(&pipeline_rank(&b.pass))
+                .then_with(|| a.pass.cmp(&b.pass))
+        });
         CompileMetadata {
             compiler: compiler.to_string(),
             compile_time: self.started.map(|s| s.elapsed().as_secs_f64()),
@@ -260,7 +314,7 @@ impl CompileContext {
             num_stages,
             num_aods,
             selected_strategy: self.selected_strategy,
-            pass_timings: self.timings,
+            pass_timings,
             counters: self.counters,
         }
     }
@@ -905,10 +959,67 @@ mod tests {
         assert_eq!(metadata.counter("coll_moves"), Some(7));
         assert!(metadata.pass_seconds("stage").unwrap() >= 0.001);
         assert!(metadata.pass_seconds("moves").is_some());
-        // Merge keeps first-encountered order: "stage" from the main
-        // context, then "moves" from worker B.
+        // finish() lays the timings out in canonical pipeline order.
         assert_eq!(metadata.pass_timings[0].pass, "stage");
         assert_eq!(metadata.pass_timings[1].pass, "moves");
+    }
+
+    #[test]
+    fn finish_sorts_pass_timings_canonically() {
+        // Record in scrambled order, as racing workers merged in completion
+        // order would; the metadata layout must not depend on it.
+        let mut ctx = CompileContext::new();
+        for pass in [
+            "zeta_extra",
+            "moves",
+            "route",
+            "alpha_extra",
+            "stage",
+            "synthesis",
+        ] {
+            ctx.time(pass, |_| ());
+        }
+        let metadata = ctx.finish("x", false, 0, 1);
+        let order: Vec<&str> = metadata
+            .pass_timings
+            .iter()
+            .map(|t| t.pass.as_str())
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                "synthesis",
+                "stage",
+                "route",
+                "moves",
+                "alpha_extra",
+                "zeta_extra"
+            ]
+        );
+    }
+
+    #[test]
+    fn stage_then_emit_matches_monolithic_compile() {
+        use powermove_schedule::canonical_program_bytes;
+        let mut circuit = Circuit::new(6);
+        for i in 0..6_u32 {
+            circuit.cz(Qubit::new(i), Qubit::new((i + 1) % 6)).unwrap();
+        }
+        let compiler = PowerMoveCompiler::new(CompilerConfig::default());
+        let arch = Architecture::for_qubits(6).with_num_aods(2);
+        let monolithic = compiler.compile(&circuit, &arch).unwrap();
+        let ir = compiler.stage(&circuit);
+        let split = compiler.emit(&ir, &arch).unwrap();
+        assert_eq!(
+            canonical_program_bytes(&split),
+            canonical_program_bytes(&monolithic),
+            "the stage/emit split must not change the emitted program"
+        );
+        // Front-end records survive into the emitted metadata.
+        assert_eq!(
+            split.metadata().counter("cz_blocks"),
+            monolithic.metadata().counter("cz_blocks")
+        );
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   Rydberg-radius pairing, no clustering) and accumulates the quantities
 //!   needed by the fidelity model of Eq. (1) — execution time, per-qubit
 //!   idle/storage time, transfer counts and excitation exposure;
-//! * [`validate`]: validation without trace accumulation.
+//! * [`validate`]: validation without trace accumulation;
+//! * [`canonical_json`] / [`canonical_program_bytes`] / [`program_digest`]:
+//!   deterministic serialized forms used for content hashing (the compile
+//!   service's schedule cache) and byte-identity checks (the determinism
+//!   tests).
 //!
 //! # Example
 //!
@@ -35,6 +39,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+mod canonical;
 mod error;
 mod instruction;
 mod layout;
@@ -44,6 +49,7 @@ mod timing;
 mod trace;
 mod validate;
 
+pub use canonical::{canonical_json, canonical_program_bytes, fnv1a_64, program_digest};
 pub use error::ScheduleError;
 pub use instruction::{CollMove, Instruction, SiteMove};
 pub use layout::Layout;

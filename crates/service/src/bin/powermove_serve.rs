@@ -1,0 +1,113 @@
+//! The compile daemon binary.
+//!
+//! ```text
+//! powermove-serve [--socket PATH] [--cache-capacity N] [--threads N] [--log PATH]
+//! ```
+//!
+//! Without `--socket`, the daemon speaks the JSONL frame protocol (see
+//! `powermove_service::protocol`) over stdin/stdout and exits when stdin
+//! closes or a `shutdown` frame arrives. With `--socket`, it binds a Unix
+//! socket, serves connections concurrently, and exits on the first
+//! `shutdown` frame from any connection. `--log` appends a copy of every
+//! response frame to a JSONL file.
+
+use powermove_exec::Parallelism;
+use powermove_service::{CompileService, Daemon};
+use std::io::{stdin, stdout, BufReader};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    socket: Option<PathBuf>,
+    cache_capacity: usize,
+    threads: usize,
+    log: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        socket: None,
+        cache_capacity: 64,
+        threads: 0,
+        log: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take_value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--socket" => options.socket = Some(PathBuf::from(take_value("--socket")?)),
+            "--log" => options.log = Some(PathBuf::from(take_value("--log")?)),
+            "--cache-capacity" => {
+                options.cache_capacity = take_value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?;
+            }
+            "--threads" => {
+                options.threads = take_value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: powermove-serve [--socket PATH] [--cache-capacity N] \
+                     [--threads N] [--log PATH]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = CompileService::new(options.cache_capacity);
+    let mut daemon =
+        Daemon::new(&service).with_parallelism(Parallelism::from_setting(options.threads));
+    if let Some(path) = &options.log {
+        daemon = match daemon.with_log(path) {
+            Ok(daemon) => daemon,
+            Err(e) => {
+                eprintln!("cannot open log {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+    let report = match &options.socket {
+        #[cfg(unix)]
+        Some(path) => match daemon.serve_unix(path) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("cannot serve on {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        #[cfg(not(unix))]
+        Some(_) => {
+            eprintln!("--socket is only supported on Unix platforms");
+            return ExitCode::FAILURE;
+        }
+        None => daemon.serve(BufReader::new(stdin().lock()), stdout()),
+    };
+    let stats = service.stats();
+    eprintln!(
+        "powermove-serve: {} frames, {} errors, {} compiles, {} hits, {} coalesced, {} evictions",
+        report.frames,
+        report.errors,
+        stats.compiles,
+        stats.cache.hits,
+        stats.coalesced,
+        stats.cache.evictions,
+    );
+    ExitCode::SUCCESS
+}

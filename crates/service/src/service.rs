@@ -1,0 +1,287 @@
+//! The compile service: cache, in-flight coalescing and batch admission.
+
+use crate::cache::{CacheStats, ScheduleCache};
+use powermove::{content_hash, CompileError, CompilerConfig};
+use powermove_circuit::Circuit;
+use powermove_hardware::Architecture;
+use powermove_schedule::{canonical_json, fnv1a_64, CompiledProgram};
+use serde::Serialize;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a compile request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The program was already cached.
+    Hit,
+    /// The request compiled cold and populated the cache.
+    Miss,
+    /// An identical request was already in flight; this one waited for it
+    /// and shares its program without compiling.
+    Coalesced,
+}
+
+impl CacheOutcome {
+    /// Wire name used in service response frames.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A point-in-time snapshot of service counters, reported by the `stats`
+/// frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ServiceStats {
+    /// Cache effectiveness counters.
+    pub cache: CacheStats,
+    /// Cold compiles actually executed (misses that reached the compiler).
+    pub compiles: u64,
+    /// Requests that coalesced onto another request's in-flight compile.
+    pub coalesced: u64,
+}
+
+/// State guarded by the service mutex: the cache plus the set of content
+/// keys whose compiles are currently in flight.
+#[derive(Debug)]
+struct Inner {
+    cache: ScheduleCache,
+    in_flight: HashSet<u64>,
+}
+
+/// A thread-safe compile front end with a content-addressed schedule cache
+/// and in-flight request coalescing.
+///
+/// Every request is keyed by [`content_hash`] over its `(circuit,
+/// architecture, config)` triple. A request whose key is cached returns the
+/// cached program ([`CacheOutcome::Hit`]); a request whose key is currently
+/// compiling on another thread blocks until that compile lands and shares
+/// its result ([`CacheOutcome::Coalesced`]); otherwise the request compiles
+/// cold exactly once ([`CacheOutcome::Miss`]). Since compilation is pure,
+/// all three paths yield byte-identical programs.
+///
+/// # Example
+///
+/// ```
+/// use powermove::CompilerConfig;
+/// use powermove_circuit::{Circuit, Qubit};
+/// use powermove_hardware::Architecture;
+/// use powermove_service::{CacheOutcome, CompileService};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let service = CompileService::new(16);
+/// let mut circuit = Circuit::new(2);
+/// circuit.cz(Qubit::new(0), Qubit::new(1))?;
+/// let arch = Architecture::for_qubits(2);
+/// let config = CompilerConfig::default();
+///
+/// let (cold, outcome) = service.compile(&circuit, &arch, &config)?;
+/// assert_eq!(outcome, CacheOutcome::Miss);
+/// let (warm, outcome) = service.compile(&circuit, &arch, &config)?;
+/// assert_eq!(outcome, CacheOutcome::Hit);
+/// assert_eq!(
+///     powermove_schedule::canonical_program_bytes(&cold),
+///     powermove_schedule::canonical_program_bytes(&warm),
+/// );
+/// assert_eq!(service.compiles(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CompileService {
+    inner: Mutex<Inner>,
+    landed: Condvar,
+    compiles: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl CompileService {
+    /// Creates a service whose cache holds at most `capacity` programs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        CompileService {
+            inner: Mutex::new(Inner {
+                cache: ScheduleCache::new(capacity),
+                in_flight: HashSet::new(),
+            }),
+            landed: Condvar::new(),
+            compiles: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Compiles a request, satisfying it from the cache or an in-flight
+    /// identical compile when possible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from a cold compile. A failed compile is
+    /// not cached, and any coalesced waiters retry (the first retrier
+    /// becomes the new cold compiler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread panicked while holding the service lock.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+        config: &CompilerConfig,
+    ) -> Result<(Arc<CompiledProgram>, CacheOutcome), CompileError> {
+        let key = content_hash(circuit, arch, config).value();
+        let mut waited = false;
+        {
+            let mut inner = self.inner.lock().expect("service lock poisoned");
+            loop {
+                if let Some(program) = inner.cache.get(key) {
+                    let outcome = if waited {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        CacheOutcome::Coalesced
+                    } else {
+                        CacheOutcome::Hit
+                    };
+                    return Ok((program, outcome));
+                }
+                if !inner.in_flight.contains(&key) {
+                    inner.in_flight.insert(key);
+                    break;
+                }
+                waited = true;
+                inner = self
+                    .landed
+                    .wait(inner)
+                    .expect("service lock poisoned while waiting");
+            }
+        }
+        // Compile outside the lock: identical concurrent requests block on
+        // the condvar above, different requests proceed in parallel.
+        let result = powermove::compile(circuit, arch, config);
+        let mut inner = self.inner.lock().expect("service lock poisoned");
+        inner.in_flight.remove(&key);
+        let result = result.map(|program| {
+            self.compiles.fetch_add(1, Ordering::Relaxed);
+            let program = Arc::new(program);
+            inner.cache.insert(key, Arc::clone(&program));
+            (program, CacheOutcome::Miss)
+        });
+        drop(inner);
+        self.landed.notify_all();
+        result
+    }
+
+    /// Compiles a batch of requests on `pool`, grouping them by
+    /// architecture.
+    ///
+    /// Requests for the same architecture are admitted to the pool as one
+    /// job and run back to back (via
+    /// [`ThreadPool::par_map_grouped`](powermove_exec::ThreadPool::par_map_grouped)),
+    /// which keeps a warm request stream from spreading one architecture's
+    /// working set across every worker; distinct architectures still compile
+    /// in parallel. Results come back in input order, each with its
+    /// [`CacheOutcome`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread panicked while holding the service lock.
+    pub fn compile_batch(
+        &self,
+        pool: &powermove_exec::ThreadPool,
+        requests: Vec<(Circuit, Architecture, CompilerConfig)>,
+    ) -> Vec<Result<(Arc<CompiledProgram>, CacheOutcome), CompileError>> {
+        pool.par_map_grouped(
+            requests,
+            |(_, arch, _)| fnv1a_64(canonical_json(arch).as_bytes()),
+            |(circuit, arch, config)| self.compile(&circuit, &arch, &config),
+        )
+    }
+
+    /// Number of cold compiles executed so far.
+    #[must_use]
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the service counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another thread panicked while holding the service lock.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        let inner = self.inner.lock().expect("service lock poisoned");
+        ServiceStats {
+            cache: inner.cache.stats(),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_circuit::Qubit;
+
+    fn ring(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        for i in 0..n {
+            c.cz(Qubit::new(i), Qubit::new((i + 1) % n)).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn distinct_requests_each_compile_once() {
+        let service = CompileService::new(16);
+        let config = CompilerConfig::default();
+        for n in [4, 6, 8] {
+            let (_, outcome) = service
+                .compile(&ring(n), &Architecture::for_qubits(n), &config)
+                .unwrap();
+            assert_eq!(outcome, CacheOutcome::Miss);
+        }
+        assert_eq!(service.compiles(), 3);
+        let stats = service.stats();
+        assert_eq!(stats.cache.entries, 3);
+        assert_eq!(stats.cache.misses, 3);
+    }
+
+    #[test]
+    fn compile_errors_are_not_cached() {
+        let service = CompileService::new(16);
+        // 10 qubits on a 2x2 compute grid cannot fit.
+        let tiny = Architecture::for_qubits(10)
+            .with_grid(powermove_hardware::ZonedGrid::with_dims(2, 2, 4).unwrap());
+        let config = CompilerConfig::default();
+        assert!(service.compile(&ring(10), &tiny, &config).is_err());
+        assert!(service.compile(&ring(10), &tiny, &config).is_err());
+        assert_eq!(service.compiles(), 0);
+        assert_eq!(service.stats().cache.entries, 0);
+    }
+
+    #[test]
+    fn batch_returns_results_in_input_order() {
+        let service = CompileService::new(16);
+        let pool = powermove_exec::ThreadPool::new(powermove_exec::Parallelism::fixed(4));
+        let config = CompilerConfig::default().with_threads(1);
+        let requests: Vec<_> = [4_u32, 6, 4, 8, 6]
+            .iter()
+            .map(|&n| (ring(n), Architecture::for_qubits(n), config))
+            .collect();
+        let results = service.compile_batch(&pool, requests);
+        assert_eq!(results.len(), 5);
+        let widths: Vec<u32> = results
+            .iter()
+            .map(|r| r.as_ref().unwrap().0.num_qubits())
+            .collect();
+        assert_eq!(widths, vec![4, 6, 4, 8, 6]);
+        // Three distinct triples → three cold compiles, two cache hits.
+        assert_eq!(service.compiles(), 3);
+        assert_eq!(service.stats().cache.hits, 2);
+    }
+}

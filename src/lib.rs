@@ -13,3 +13,4 @@ pub use powermove_exec as exec;
 pub use powermove_fidelity as fidelity;
 pub use powermove_hardware as hardware;
 pub use powermove_schedule as schedule;
+pub use powermove_service as service;

@@ -10,18 +10,10 @@ use powermove_suite::powermove::{CompilerBackend, CompilerConfig, PowerMoveCompi
 use powermove_suite::schedule::CompiledProgram;
 
 /// Serializes the observable program content (layout + instruction stream +
-/// deterministic metadata) to JSON bytes. Pass timings are excluded: they
-/// are wall-clock measurements and legitimately differ run to run.
+/// deterministic metadata), excluding wall-clock pass timings. Delegates to
+/// the canonical form shared with the compile service's content cache.
 fn program_bytes(program: &CompiledProgram) -> String {
-    let instructions =
-        serde_json::to_string(&program.instructions().to_vec()).expect("instructions serialize");
-    let layout = serde_json::to_string(program.initial_layout()).expect("layout serializes");
-    let metadata = program.metadata();
-    let counters = serde_json::to_string(&metadata.counters).expect("counters serialize");
-    format!(
-        "{layout}|{instructions}|{counters}|stages={}|storage={}",
-        metadata.num_stages, metadata.uses_storage
-    )
+    powermove_suite::schedule::canonical_program_bytes(program)
 }
 
 fn compile_with_threads(family: BenchmarkFamily, n: u32, threads: usize) -> CompiledProgram {
