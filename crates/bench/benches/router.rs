@@ -2,7 +2,7 @@
 //! transitions in the with-storage and non-storage configurations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use powermove::{partition_stages, schedule_stages, RoutingState};
+use powermove::{partition_stages, schedule_stages, RoutingState, ZeroBias};
 use powermove_benchmarks::{generate, BenchmarkFamily};
 use powermove_circuit::BlockProgram;
 use powermove_hardware::{Architecture, Zone};
@@ -30,7 +30,7 @@ fn bench_router(c: &mut Criterion) {
                 let layout = Layout::row_major(&arch, n, Zone::Storage).unwrap();
                 let mut router = RoutingState::new(arch.clone(), layout, true);
                 for stage in stages {
-                    black_box(router.route_stage(stage).unwrap());
+                    black_box(router.route_stage_with(stage, &ZeroBias).unwrap());
                 }
             });
         });
@@ -39,7 +39,7 @@ fn bench_router(c: &mut Criterion) {
                 let layout = Layout::row_major(&arch, n, Zone::Compute).unwrap();
                 let mut router = RoutingState::new(arch.clone(), layout, false);
                 for stage in stages {
-                    black_box(router.route_stage(stage).unwrap());
+                    black_box(router.route_stage_with(stage, &ZeroBias).unwrap());
                 }
             });
         });

@@ -1,14 +1,15 @@
 //! The end-to-end PowerMove compilation pipeline.
 
 use crate::pipeline::{
-    CompileContext, CompilerBackend, MovePass, RoutePass, StagePass, StagedProgram, SynthesisPass,
+    CompileContext, CompilerBackend, MovePass, RoutePass, RoutedProgram, StagePass, StagedProgram,
+    SynthesisPass,
 };
 use crate::routing::{AutoRouter, RoutingStrategy};
 use crate::{CompileError, CompilerConfig};
 use powermove_circuit::{BlockProgram, Circuit};
 use powermove_exec::{Parallelism, ThreadPool};
 use powermove_hardware::Architecture;
-use powermove_schedule::{CompiledProgram, PassCounter, PassTiming};
+use powermove_schedule::{CompiledProgram, Instruction, MovementClock, PassCounter, PassTiming};
 use std::fmt;
 use std::sync::Arc;
 
@@ -104,6 +105,168 @@ impl StagedIr {
     /// Work counters recorded by the front end.
     #[must_use]
     pub fn front_end_counters(&self) -> &[PassCounter] {
+        &self.counters
+    }
+}
+
+/// A routing session: the back-end replay surface over one frozen staged
+/// program.
+///
+/// A session borrows the shared front-end output and replays **only the
+/// back end** — `RoutePass → MovePass` — once per
+/// [`RoutingSession::replay`] call, each time with a different strategy
+/// and/or architecture. This is the hot path of portfolio auto-tuning
+/// (stage once, route N candidates) and of architecture sweeps; replays are
+/// independent, so callers fan them out across a thread pool freely (the
+/// session is `Send + Sync`).
+///
+/// Obtain one from [`PowerMoveCompiler::session`] (which fixes the
+/// storage/grouping knobs from the compiler configuration) or construct it
+/// directly from a [`StagedProgram`].
+///
+/// # Example
+///
+/// ```
+/// use powermove::{CompilerConfig, GreedyRouter, MultiAodScheduler, PowerMoveCompiler};
+/// use powermove_circuit::{Circuit, Qubit};
+/// use powermove_hardware::Architecture;
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), powermove::CompileError> {
+/// let mut circuit = Circuit::new(4);
+/// circuit.cz(Qubit::new(0), Qubit::new(1))?;
+/// circuit.cz(Qubit::new(2), Qubit::new(3))?;
+/// let compiler = PowerMoveCompiler::new(CompilerConfig::default());
+/// let arch = Architecture::for_qubits(4).with_num_aods(2);
+///
+/// // One front-end pass, two back-end replays.
+/// let ir = compiler.stage(&circuit);
+/// let session = compiler.session(&ir);
+/// let greedy = session.replay(&arch, Arc::new(GreedyRouter))?;
+/// let multi = session.replay(&arch, Arc::new(MultiAodScheduler::default()))?;
+/// assert!(multi.movement_wall_clock() <= greedy.movement_wall_clock());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RoutingSession<'a> {
+    staged: &'a StagedProgram,
+    use_storage: bool,
+    use_grouping: bool,
+}
+
+impl<'a> RoutingSession<'a> {
+    /// Creates a session over a frozen staged program.
+    #[must_use]
+    pub fn new(staged: &'a StagedProgram, use_storage: bool, use_grouping: bool) -> Self {
+        RoutingSession {
+            staged,
+            use_storage,
+            use_grouping,
+        }
+    }
+
+    /// The shared staged program every replay starts from.
+    #[must_use]
+    pub fn staged(&self) -> &'a StagedProgram {
+        self.staged
+    }
+
+    /// Replays the back end — routing plus move scheduling — for one
+    /// strategy on one architecture.
+    ///
+    /// Each replay runs on its own scratch pass context and an inline
+    /// (single-worker) pool, so its output is deterministic and independent
+    /// of any other replay; the movement wall clock is folded incrementally
+    /// while instructions stream out of move scheduling (bit-identical to
+    /// [`movement_wall_clock`](crate::movement_wall_clock) over the final
+    /// stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::NoFreeSite`] if the strategy runs out of
+    /// free sites.
+    pub fn replay(
+        &self,
+        arch: &Architecture,
+        strategy: Arc<dyn RoutingStrategy>,
+    ) -> Result<Replay, CompileError> {
+        let mut scratch = CompileContext::scratch();
+        let inline = ThreadPool::new(Parallelism::fixed(1));
+        let routed = RoutePass::new(self.use_storage)
+            .with_strategy(strategy.clone())
+            .run(self.staged, arch, &mut scratch)?;
+        let instructions = MovePass::new(self.use_grouping)
+            .with_strategy(strategy)
+            .run(&routed, arch, &inline, &mut scratch);
+        let mut clock = MovementClock::new();
+        let mut transfers = 0_usize;
+        for instruction in &instructions {
+            clock.observe(instruction, arch);
+            transfers += instruction.transfer_count();
+        }
+        let (timings, counters) = scratch.into_parts();
+        Ok(Replay {
+            routed,
+            instructions,
+            movement: clock.total(),
+            transfers,
+            timings,
+            counters,
+        })
+    }
+}
+
+/// The outcome of one [`RoutingSession::replay`]: the routed program, its
+/// instruction stream, the replay's scoring metrics and the back-end pass
+/// records.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    pub(crate) routed: RoutedProgram,
+    pub(crate) instructions: Vec<Instruction>,
+    pub(crate) movement: f64,
+    pub(crate) transfers: usize,
+    pub(crate) timings: Vec<PassTiming>,
+    pub(crate) counters: Vec<PassCounter>,
+}
+
+impl Replay {
+    /// The routed program.
+    #[must_use]
+    pub fn routed(&self) -> &RoutedProgram {
+        &self.routed
+    }
+
+    /// The emitted instruction stream.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Total movement wall clock of the instruction stream, in seconds —
+    /// the auto-tuner's primary selection metric, folded incrementally
+    /// during the replay.
+    #[must_use]
+    pub fn movement_wall_clock(&self) -> f64 {
+        self.movement
+    }
+
+    /// Total number of SLM↔AOD trap transfers — the auto-tuner's
+    /// tie-breaking metric.
+    #[must_use]
+    pub fn transfer_count(&self) -> usize {
+        self.transfers
+    }
+
+    /// Pass timings recorded by the replay's back end.
+    #[must_use]
+    pub fn back_end_timings(&self) -> &[PassTiming] {
+        &self.timings
+    }
+
+    /// Work counters recorded by the replay's back end.
+    #[must_use]
+    pub fn back_end_counters(&self) -> &[PassCounter] {
         &self.counters
     }
 }
@@ -333,6 +496,67 @@ impl PowerMoveCompiler {
             ir.counters.clone(),
         ));
         self.emit_staged(&ir.staged, arch, ctx)
+    }
+
+    /// Opens a [`RoutingSession`] over a staged IR, carrying the compiler's
+    /// storage and grouping configuration.
+    ///
+    /// The session replays only the back end per call — see
+    /// [`RoutingSession::replay`] and the session-level example.
+    #[must_use]
+    pub fn session<'a>(&self, ir: &'a StagedIr) -> RoutingSession<'a> {
+        RoutingSession::new(
+            &ir.staged,
+            self.config.use_storage,
+            self.config.use_grouping,
+        )
+    }
+
+    /// Emits a staged IR with an explicit routing strategy, bypassing both
+    /// the configured strategy and auto-tuning.
+    ///
+    /// This is [`PowerMoveCompiler::emit`] with the strategy pinned per
+    /// call: one shared front-end pass ([`PowerMoveCompiler::stage`]) can be
+    /// emitted under many strategies without restaging, and the output is
+    /// byte-identical to a full compile configured with the same strategy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PowerMoveCompiler::compile`].
+    pub fn emit_with_strategy(
+        &self,
+        ir: &StagedIr,
+        arch: &Architecture,
+        strategy: Arc<dyn RoutingStrategy>,
+    ) -> Result<CompiledProgram, CompileError> {
+        arch.check_capacity(ir.num_qubits())?;
+        let mut ctx = CompileContext::new();
+        ctx.merge(CompileContext::from_parts(
+            ir.timings.clone(),
+            ir.counters.clone(),
+        ));
+        let replay = self.session(ir).replay(arch, strategy)?;
+        let Replay {
+            routed,
+            instructions,
+            timings,
+            counters,
+            ..
+        } = replay;
+        ctx.merge(CompileContext::from_parts(timings, counters));
+        let metadata = ctx.finish(
+            "powermove",
+            self.config.use_storage,
+            ir.num_stages(),
+            arch.num_aods(),
+        );
+        Ok(CompiledProgram::new(
+            arch.clone(),
+            routed.num_qubits(),
+            routed.initial_layout().clone(),
+            instructions,
+        )
+        .with_metadata(metadata))
     }
 
     /// Runs the `StagePass → RoutePass → MovePass → emission` tail of the

@@ -88,6 +88,47 @@ pub fn content_hash(
     ContentHash(fnv1a_64(canonical.as_bytes()))
 }
 
+/// Hashes the front-end inputs `(circuit, config)` into a content address
+/// for the frozen staged IR.
+///
+/// The compiler front end ([`PowerMoveCompiler::stage`]) is
+/// architecture-independent: synthesis and stage partitioning read only the
+/// circuit and the configuration. The stage hash therefore deliberately
+/// omits the architecture, so one cached
+/// [`StagedIr`](crate::StagedIr) is shared by requests that differ only in
+/// their target machine — the compile service keys its stage cache with
+/// this and its program cache with the full [`content_hash`].
+///
+/// [`PowerMoveCompiler::stage`]: crate::PowerMoveCompiler::stage
+///
+/// # Example
+///
+/// Requests that differ only in architecture share a stage hash; changing
+/// the circuit or the config changes it:
+///
+/// ```
+/// use powermove::{stage_hash, CompilerConfig};
+/// use powermove_circuit::{Circuit, Qubit};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut circuit = Circuit::new(2);
+/// circuit.cz(Qubit::new(0), Qubit::new(1))?;
+/// let config = CompilerConfig::default();
+///
+/// let key = stage_hash(&circuit, &config);
+/// assert_eq!(key, stage_hash(&circuit, &config));
+/// assert_ne!(key, stage_hash(&circuit, &CompilerConfig::without_storage()));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn stage_hash(circuit: &Circuit, config: &CompilerConfig) -> ContentHash {
+    // Same framing as `content_hash`: '\n'-separated compact JSON, which
+    // cannot contain a raw newline.
+    let canonical = format!("{}\n{}", canonical_json(circuit), canonical_json(config));
+    ContentHash(fnv1a_64(canonical.as_bytes()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +175,26 @@ mod tests {
             base,
             content_hash(&circuit, &arch, &CompilerConfig::without_storage())
         );
+    }
+
+    #[test]
+    fn stage_hash_ignores_the_architecture_but_nothing_else() {
+        let circuit = ring(6);
+        let config = CompilerConfig::default();
+        let base = stage_hash(&circuit, &config);
+        // Same front-end inputs: same key, however the target machine varies
+        // (there is no architecture input at all).
+        assert_eq!(base, stage_hash(&ring(6), &CompilerConfig::default()));
+        // Both remaining components contribute.
+        assert_ne!(base, stage_hash(&ring(8), &config));
+        assert_ne!(
+            base,
+            stage_hash(&circuit, &CompilerConfig::without_storage())
+        );
+        // And the stage key is not the full content key of any triple with
+        // the same circuit and config.
+        let arch = Architecture::for_qubits(6);
+        assert_ne!(base, content_hash(&circuit, &arch, &config));
     }
 
     #[test]

@@ -83,9 +83,9 @@ mod stage_schedule;
 mod stats;
 
 pub use collmove::{order_coll_moves, pack_move_groups, pack_move_groups_balanced};
-pub use compiler::{compile, PowerMoveCompiler, StagedIr};
+pub use compiler::{compile, PowerMoveCompiler, Replay, RoutingSession, StagedIr};
 pub use config::{AodAssignment, CompilerConfig, RoutingConfig, RoutingStrategyKind};
-pub use content::{content_hash, ContentHash};
+pub use content::{content_hash, stage_hash, ContentHash};
 pub use error::CompileError;
 pub use grouping::group_moves;
 pub use pipeline::{
@@ -93,9 +93,9 @@ pub use pipeline::{
     RoutedStage, StagePass, StagedProgram, StagedSegment, SynthesisPass,
 };
 pub use routing::{
-    greedy_move_schedule, group_stage_moves, movement_wall_clock, AutoRouter, CostModel,
+    greedy_move_schedule, group_stage_moves, movement_wall_clock, AutoRouter, BiasFn, CostModel,
     GreedyRouter, InstanceFeatures, LookaheadRouter, MultiAodScheduler, RoutingState,
-    RoutingStrategy, SiteBias, StageRouting,
+    RoutingStrategy, SiteBias, SitePolicy, StageRouting, ZeroBias,
 };
 pub use stage_partition::{partition_stages, Stage};
 pub use stage_schedule::schedule_stages;

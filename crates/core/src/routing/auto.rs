@@ -9,35 +9,39 @@
 //! [`RoutingStrategyKind::Auto`]'s `portfolio` flag:
 //!
 //! * **portfolio** (`portfolio: true`, [`RoutingConfig::auto`]) — every
-//!   candidate compiles the instance (fanned out over the `powermove-exec`
-//!   thread pool, one scratch [`CompileContext`] per candidate, merged back
-//!   in candidate order so the result is byte-identical at any worker
-//!   count) and the schedule with the lower movement wall clock wins; ties
-//!   break to fewer SLM↔AOD transfers, then to the earlier candidate —
-//!   greedy first. The winner can therefore never be worse than any
-//!   portfolio member on movement wall clock.
+//!   candidate **replays only the back end** from the one shared frozen
+//!   staged program through a [`RoutingSession`]
+//!   (fanned out over the `powermove-exec` thread pool, one scratch pass
+//!   context per replay, merged back in candidate order so the result is
+//!   byte-identical at any worker count) and the schedule with the lower
+//!   movement wall clock wins; ties break to fewer SLM↔AOD transfers, then
+//!   to the earlier candidate — greedy first. The winner can therefore
+//!   never be worse than any portfolio member on movement wall clock.
 //! * **cost model** (`portfolio: false`, [`RoutingConfig::auto_model`]) —
 //!   the [`CostModel`] predicts each candidate's movement wall clock from
 //!   [`InstanceFeatures`] and only the predicted winner compiles.
 //!
 //! Either way the winning strategy's name lands in
-//! [`CompileMetadata::selected_strategy`] and the number of candidate
-//! compiles in the [`AutoRouter::PORTFOLIO_COUNTER`] pass counter, so bench
-//! reports and diagnostics can attribute the decision.
+//! [`CompileMetadata::selected_strategy`], the number of back-end replays
+//! in the [`AutoRouter::PORTFOLIO_COUNTER`] pass counter and the single
+//! shared front-end pass in [`AutoRouter::STAGE_COUNTER`], so bench reports
+//! and diagnostics can attribute both the decision and its cost shape (one
+//! stage + N route replays, not N full compiles).
 //!
 //! [`RoutingStrategyKind::Auto`]: crate::RoutingStrategyKind::Auto
 //! [`RoutingConfig::auto`]: crate::RoutingConfig::auto
 //! [`RoutingConfig::auto_model`]: crate::RoutingConfig::auto_model
 //! [`CompileMetadata::selected_strategy`]: powermove_schedule::CompileMetadata
 
+use crate::compiler::{Replay, RoutingSession};
 use crate::config::RoutingConfig;
 use crate::pipeline::{CompileContext, MovePass, RoutePass, RoutedProgram, StagedProgram};
 use crate::routing::cost::{CostModel, InstanceFeatures};
 use crate::routing::{GreedyRouter, LookaheadRouter, MultiAodScheduler, RoutingStrategy};
 use crate::CompileError;
-use powermove_exec::{Parallelism, ThreadPool};
+use powermove_exec::ThreadPool;
 use powermove_hardware::Architecture;
-use powermove_schedule::{movement_wall_clock, Instruction};
+use powermove_schedule::Instruction;
 use std::sync::Arc;
 
 /// The per-instance routing auto-tuner (see the module docs).
@@ -50,10 +54,17 @@ pub struct AutoRouter {
 }
 
 impl AutoRouter {
-    /// Name of the pass counter recording how many candidate compiles the
+    /// Name of the pass counter recording how many back-end replays the
     /// auto-tuner performed for one program (the portfolio size in portfolio
-    /// mode, one in cost-model mode).
+    /// mode, one in cost-model mode). Every replay shares the single
+    /// front-end pass recorded by [`AutoRouter::STAGE_COUNTER`] — candidates
+    /// are route-only replays, not full compiles.
     pub const PORTFOLIO_COUNTER: &'static str = "portfolio_compiles";
+
+    /// Name of the pass counter recording how many front-end (stage) passes
+    /// fed the auto-tuner's candidates: always one — the staged program is
+    /// frozen once and every candidate replays only the back end from it.
+    pub const STAGE_COUNTER: &'static str = "portfolio_stage_passes";
 
     /// Builds the auto-tuner from a routing configuration: the candidate
     /// portfolio is the greedy router, the lookahead router with
@@ -99,12 +110,13 @@ impl AutoRouter {
     /// Routes and schedules `staged` with the selected strategy, recording
     /// the selection in `ctx` (see the module docs for both modes).
     ///
-    /// Candidate compiles run concurrently on `pool` with one scratch
-    /// context each; scratches merge back in candidate order, so timing and
-    /// counter layout — like the emitted program — is identical for every
-    /// worker count. Merged counters report **total work across candidates**
-    /// (three route passes in portfolio mode), mirroring how parallel passes
-    /// report total work time.
+    /// Candidate replays run concurrently on `pool` through one shared
+    /// [`RoutingSession`], each on its own scratch context; replay records
+    /// merge back in candidate order, so timing and counter layout — like
+    /// the emitted program — is identical for every worker count. Merged
+    /// counters report **total work across candidates** (three route passes
+    /// in portfolio mode), mirroring how parallel passes report total work
+    /// time.
     ///
     /// # Errors
     ///
@@ -122,6 +134,7 @@ impl AutoRouter {
         pool: &ThreadPool,
         ctx: &mut CompileContext,
     ) -> Result<(RoutedProgram, Vec<Instruction>), CompileError> {
+        ctx.count(Self::STAGE_COUNTER, 1);
         if !self.portfolio {
             let features = InstanceFeatures::of(staged, arch);
             let strategy = self.predicted_winner(&features);
@@ -136,35 +149,35 @@ impl AutoRouter {
             return Ok((routed, instructions));
         }
 
-        // Portfolio mode: each candidate compiles sequentially inside one
-        // pool job (its own RoutePass is sequential by construction and its
-        // MovePass runs inline), so the per-candidate output is
-        // deterministic and the cross-candidate fan-out is where the
-        // parallelism lives.
+        // Portfolio mode: every candidate is a route-only replay over the
+        // one shared frozen staged program (each replay runs its own
+        // sequential back end inside one pool job), so the per-candidate
+        // output is deterministic and the cross-candidate fan-out is where
+        // the parallelism lives.
+        let session = RoutingSession::new(staged, use_storage, use_grouping);
         let jobs: Vec<Arc<dyn RoutingStrategy>> = self
             .candidates
             .iter()
             .map(|(_, strategy)| strategy.clone())
             .collect();
-        let compiled = pool.par_map(jobs, |strategy| {
-            let mut scratch = CompileContext::scratch();
-            let inline = ThreadPool::new(Parallelism::fixed(1));
-            let result = RoutePass::new(use_storage)
-                .with_strategy(strategy.clone())
-                .run(staged, arch, &mut scratch)
-                .map(|routed| {
-                    let instructions = MovePass::new(use_grouping)
-                        .with_strategy(strategy.clone())
-                        .run(&routed, arch, &inline, &mut scratch);
-                    (routed, instructions)
-                });
-            (result, scratch)
-        });
+        let replays = pool.par_map(jobs, |strategy| session.replay(arch, strategy));
 
-        let mut outcomes = Vec::with_capacity(compiled.len());
-        for (result, scratch) in compiled {
-            ctx.merge(scratch);
-            outcomes.push(result);
+        let mut outcomes = Vec::with_capacity(replays.len());
+        for result in replays {
+            // Merging in candidate order keeps timing/counter layout — like
+            // the emitted program — identical for every worker count.
+            outcomes.push(result.map(|replay| {
+                let Replay {
+                    routed,
+                    instructions,
+                    movement,
+                    transfers,
+                    timings,
+                    counters,
+                } = replay;
+                ctx.merge(CompileContext::from_parts(timings, counters));
+                (routed, instructions, movement, transfers)
+            }));
         }
         ctx.count(Self::PORTFOLIO_COUNTER, self.candidates.len() as u64);
 
@@ -175,15 +188,15 @@ impl AutoRouter {
             // selection, not fatal: the auto configuration compiles
             // whenever any portfolio member does, so it can never be worse
             // than a weaker fixed configuration that would have survived.
-            let (routed, instructions) = match result {
+            // The replay already folded the candidate's movement wall clock
+            // incrementally, so selection is pure comparison here.
+            let (routed, instructions, movement, transfers) = match result {
                 Ok(compiled) => compiled,
                 Err(error) => {
                     first_error.get_or_insert(error);
                     continue;
                 }
             };
-            let movement = movement_wall_clock(&instructions, arch);
-            let transfers: usize = instructions.iter().map(Instruction::transfer_count).sum();
             let better = match &best {
                 None => true,
                 Some((_, _, _, best_movement, best_transfers)) => {
@@ -242,8 +255,9 @@ mod tests {
     use crate::pipeline::{StagePass, SynthesisPass};
     use crate::{CompilerConfig, PowerMoveCompiler, RoutingConfig};
     use powermove_circuit::{Circuit, Qubit};
+    use powermove_exec::Parallelism;
     use powermove_fidelity::evaluate_program;
-    use powermove_schedule::{validate, CompiledProgram};
+    use powermove_schedule::{movement_wall_clock, validate, CompiledProgram};
 
     fn q(i: u32) -> Qubit {
         Qubit::new(i)
@@ -319,7 +333,9 @@ mod tests {
         let metadata = program.metadata();
         let selected = metadata.selected_strategy.as_deref().expect("recorded");
         assert!(["greedy", "lookahead", "multi-aod"].contains(&selected));
+        // One shared front-end pass, three route-only back-end replays.
         assert_eq!(metadata.counter(AutoRouter::PORTFOLIO_COUNTER), Some(3));
+        assert_eq!(metadata.counter(AutoRouter::STAGE_COUNTER), Some(1));
     }
 
     #[test]
@@ -328,6 +344,10 @@ mod tests {
         assert!(validate(&program).is_ok());
         assert_eq!(
             program.metadata().counter(AutoRouter::PORTFOLIO_COUNTER),
+            Some(1)
+        );
+        assert_eq!(
+            program.metadata().counter(AutoRouter::STAGE_COUNTER),
             Some(1)
         );
         // At three AODs the model predicts the multi-AOD scheduler.

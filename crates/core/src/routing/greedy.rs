@@ -1,6 +1,6 @@
 //! The greedy routing strategy: the paper's continuous router, unchanged.
 
-use crate::routing::{RoutingState, RoutingStrategy, StageRouting};
+use crate::routing::{RoutingState, RoutingStrategy, StageRouting, ZeroBias};
 use crate::{CompileError, Stage};
 
 /// The baseline routing strategy: the continuous router of Sec. 5 with the
@@ -26,7 +26,7 @@ impl RoutingStrategy for GreedyRouter {
         stage: &Stage,
         _upcoming: &[Stage],
     ) -> Result<StageRouting, CompileError> {
-        state.route_stage(stage)
+        state.route_stage_with(stage, &ZeroBias)
     }
 }
 
@@ -57,7 +57,7 @@ mod tests {
         let a = GreedyRouter
             .route_stage(&mut via_strategy, &stage, &[])
             .unwrap();
-        let b = direct.route_stage(&stage).unwrap();
+        let b = direct.route_stage_with(&stage, &ZeroBias).unwrap();
         assert_eq!(a, b);
         assert_eq!(GreedyRouter.name(), "greedy");
     }

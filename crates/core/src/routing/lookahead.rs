@@ -1,7 +1,7 @@
 //! The lookahead routing strategy: undecided pairs are placed where the
 //! next few stages will want them.
 
-use crate::routing::{RoutingState, RoutingStrategy, StageRouting};
+use crate::routing::{BiasFn, RoutingState, RoutingStrategy, StageRouting};
 use crate::{CompileError, Stage};
 use powermove_circuit::Qubit;
 use powermove_hardware::Point;
@@ -75,7 +75,7 @@ impl RoutingStrategy for LookaheadRouter {
                 }
             }
         }
-        state.route_stage_scored(stage, &|anchor, mobile, site| {
+        let policy = BiasFn::new(|anchor, mobile, site| {
             let pos = grid.position(site);
             [anchor, mobile]
                 .iter()
@@ -83,13 +83,15 @@ impl RoutingStrategy for LookaheadRouter {
                 .flatten()
                 .map(|(weight, partner)| weight * pos.distance(*partner))
                 .sum()
-        })
+        });
+        state.route_stage_with(stage, &policy)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::routing::ZeroBias;
     use powermove_circuit::CzGate;
     use powermove_hardware::{Architecture, Zone};
     use powermove_schedule::Layout;
@@ -126,7 +128,7 @@ mod tests {
         for (i, st) in stages.iter().enumerate() {
             let upcoming = &stages[i + 1..];
             let plan_a = lookahead.route_stage(&mut a, st, upcoming).unwrap();
-            let plan_b = b.route_stage(st).unwrap();
+            let plan_b = b.route_stage_with(st, &ZeroBias).unwrap();
             assert_eq!(plan_a, plan_b);
         }
     }

@@ -56,7 +56,7 @@ pub use multi_aod::MultiAodScheduler;
 // `move_group_duration`; re-exported here because routing selection is its
 // primary consumer.
 pub use powermove_schedule::movement_wall_clock;
-pub use state::{RoutingState, SiteBias, StageRouting};
+pub use state::{BiasFn, RoutingState, SiteBias, SitePolicy, StageRouting, ZeroBias};
 
 use crate::config::{RoutingConfig, RoutingStrategyKind};
 use crate::{group_moves, order_coll_moves, pack_move_groups, CompileError, Stage};

@@ -4,7 +4,7 @@
 
 use crate::config::AodAssignment;
 use crate::routing::{
-    greedy_move_schedule, group_stage_moves, RoutingState, RoutingStrategy, StageRouting,
+    greedy_move_schedule, group_stage_moves, RoutingState, RoutingStrategy, StageRouting, ZeroBias,
 };
 use crate::{pack_move_groups_balanced, CompileError, Stage};
 use powermove_hardware::Architecture;
@@ -72,7 +72,7 @@ impl RoutingStrategy for MultiAodScheduler {
         stage: &Stage,
         _upcoming: &[Stage],
     ) -> Result<StageRouting, CompileError> {
-        state.route_stage(stage)
+        state.route_stage_with(stage, &ZeroBias)
     }
 
     fn schedule_moves(
@@ -137,7 +137,7 @@ mod tests {
         let mut b = RoutingState::new(arch, layout, true);
         for st in &stages {
             let plan_a = scheduler.route_stage(&mut a, st, &[]).unwrap();
-            let plan_b = b.route_stage(st).unwrap();
+            let plan_b = b.route_stage_with(st, &ZeroBias).unwrap();
             assert_eq!(plan_a, plan_b, "multi-AOD must not change stage plans");
         }
     }
@@ -157,7 +157,7 @@ mod tests {
         let mut balanced_total = 0.0;
         let mut chunked_total = 0.0;
         for st in &stages {
-            let routing = state.route_stage(st).unwrap();
+            let routing = state.route_stage_with(st, &ZeroBias).unwrap();
             let b = balanced.schedule_moves(&routing, &arch, true);
             let c = chunked.schedule_moves(&routing, &arch, true);
             assert_eq!(b.len(), c.len(), "same number of parallel windows");
@@ -175,7 +175,9 @@ mod tests {
         let arch = Architecture::for_qubits(6).with_num_aods(2);
         let layout = Layout::row_major(&arch, 6, Zone::Storage).unwrap();
         let mut state = RoutingState::new(arch.clone(), layout, true);
-        let routing = state.route_stage(&stage(&[(0, 1), (2, 3)])).unwrap();
+        let routing = state
+            .route_stage_with(&stage(&[(0, 1), (2, 3)]), &ZeroBias)
+            .unwrap();
         let scheduler = MultiAodScheduler::default();
         for instr in scheduler.schedule_moves(&routing, &arch, false) {
             if let Instruction::MoveGroup { coll_moves } = instr {

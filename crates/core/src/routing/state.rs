@@ -10,12 +10,23 @@
 //! unwanted clustering occurs. There is no reversion to a fixed initial
 //! layout between stages — that is precisely the improvement over Enola
 //! illustrated in Fig. 3 of the paper.
+//!
+//! # The occupancy arena
+//!
+//! The planner's hot data structure is the *planned occupancy*: which qubits
+//! will sit at which site once the transition completes. It is kept as a
+//! persistent struct-of-arrays arena — a flat site-indexed occupant table
+//! plus per-zone free-site lists — updated incrementally as movement
+//! decisions are made, instead of a tree map rebuilt from the layout on
+//! every stage. Because every planned decision is also applied to the
+//! layout at the end of the stage, the arena and the layout agree at every
+//! stage boundary, so the arena never needs rebuilding.
 
 use crate::{CompileError, Stage};
 use powermove_circuit::Qubit;
-use powermove_hardware::{Architecture, Point, SiteId, Zone};
+use powermove_hardware::{Architecture, Point, SiteId, Zone, ZonedGrid};
 use powermove_schedule::{Layout, SiteMove};
-use std::collections::{BTreeMap, BTreeSet};
+use std::cmp::Ordering;
 
 /// The movement plan for one stage transition.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -48,38 +59,227 @@ impl StageRouting {
     }
 }
 
+/// A site-selection policy: the single extension point of the stage planner.
+///
+/// While resolving an undecided pair `(anchor, mobile)` the planner scores
+/// every candidate interaction site by its distance to the anchor plus
+/// `bias(anchor, mobile, site)` — a positive penalty in meters, the same
+/// unit as the distance term. [`ZeroBias`] reproduces the greedy router bit
+/// for bit; the lookahead router biases sites toward future partners.
+/// Closures adapt through [`BiasFn`].
+///
+/// Bias values must not be NaN: site selection is a deterministic total
+/// order over `(score, site index)` and NaN would make it
+/// iteration-order-dependent.
+pub trait SitePolicy {
+    /// The extra cost added to `site` as the interaction site of
+    /// `(anchor, mobile)`.
+    fn bias(&self, anchor: Qubit, mobile: Qubit, site: SiteId) -> f64;
+}
+
+/// The zero-bias [`SitePolicy`]: every candidate site scores by distance
+/// alone, reproducing the greedy plan bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroBias;
+
+impl SitePolicy for ZeroBias {
+    fn bias(&self, _anchor: Qubit, _mobile: Qubit, _site: SiteId) -> f64 {
+        0.0
+    }
+}
+
+/// Adapts a closure into a [`SitePolicy`].
+///
+/// ```
+/// use powermove::{BiasFn, SitePolicy};
+/// use powermove_circuit::Qubit;
+/// use powermove_hardware::SiteId;
+///
+/// let policy = BiasFn::new(|_, _, site: SiteId| site.index() as f64);
+/// assert_eq!(policy.bias(Qubit::new(0), Qubit::new(1), SiteId::new(3)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BiasFn<F>(F);
+
+impl<F: Fn(Qubit, Qubit, SiteId) -> f64> BiasFn<F> {
+    /// Wraps the closure.
+    #[must_use]
+    pub fn new(f: F) -> Self {
+        BiasFn(f)
+    }
+}
+
+impl<F: Fn(Qubit, Qubit, SiteId) -> f64> SitePolicy for BiasFn<F> {
+    fn bias(&self, anchor: Qubit, mobile: Qubit, site: SiteId) -> f64 {
+        (self.0)(anchor, mobile, site)
+    }
+}
+
 /// Extra cost added to a candidate interaction site while resolving an
-/// undecided pair `(anchor, mobile)`: strategies bias the site choice by
-/// returning a positive penalty (in meters, the same unit as the distance
-/// term). The zero bias reproduces the greedy router exactly.
+/// undecided pair `(anchor, mobile)`.
+///
+/// Superseded by [`SitePolicy`] (wrap closures in [`BiasFn`]); kept for the
+/// deprecated [`RoutingState::route_stage_scored`] entry point.
 pub type SiteBias<'a> = dyn Fn(Qubit, Qubit, SiteId) -> f64 + 'a;
+
+/// Marks a site as not present in any free list.
+const NOT_FREE: usize = usize::MAX;
+
+/// One site's planned occupants: at most two (an interacting pair).
+///
+/// The planner only ever co-locates the two qubits of one CZ gate, so a
+/// fixed two-slot cell covers every reachable state — the insert path
+/// asserts the invariant rather than spilling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct PlannedSite([Option<Qubit>; 2]);
+
+impl PlannedSite {
+    fn is_empty(&self) -> bool {
+        self.0[0].is_none() && self.0[1].is_none()
+    }
+
+    fn insert(&mut self, q: Qubit) {
+        if self.0.contains(&Some(q)) {
+            return;
+        }
+        if let Some(slot) = self.0.iter_mut().find(|slot| slot.is_none()) {
+            *slot = Some(q);
+        } else {
+            panic!("planned occupancy of a site exceeded two qubits");
+        }
+    }
+
+    fn remove(&mut self, q: Qubit) {
+        for slot in &mut self.0 {
+            if *slot == Some(q) {
+                *slot = None;
+            }
+        }
+    }
+
+    fn blocks(&self, exclude_a: Qubit, exclude_b: Qubit) -> bool {
+        self.0
+            .iter()
+            .flatten()
+            .any(|&q| q != exclude_a && q != exclude_b)
+    }
+}
+
+/// The persistent planned-occupancy arena (see the module docs): flat
+/// site-indexed occupant cells, per-zone lists of planned-free sites (with a
+/// site→list-position index for O(1) removal) and a per-qubit
+/// departs-to-storage flag used by the blocking test.
+#[derive(Debug, Clone, Default)]
+struct OccupancyArena {
+    planned: Vec<PlannedSite>,
+    free: [Vec<SiteId>; 2],
+    free_pos: Vec<usize>,
+    storage_mover: Vec<bool>,
+}
+
+fn zone_index(zone: Zone) -> usize {
+    match zone {
+        Zone::Compute => 0,
+        Zone::Storage => 1,
+    }
+}
+
+impl OccupancyArena {
+    fn new(grid: &ZonedGrid, layout: &Layout) -> Self {
+        let num_sites = grid.num_sites();
+        let mut arena = OccupancyArena {
+            planned: vec![PlannedSite::default(); num_sites],
+            free: [Vec::new(), Vec::new()],
+            free_pos: vec![NOT_FREE; num_sites],
+            storage_mover: vec![false; layout.num_qubits() as usize],
+        };
+        for zone in [Zone::Compute, Zone::Storage] {
+            for site in grid.sites_in(zone) {
+                arena.mark_free(zone, site);
+            }
+        }
+        for (q, site) in layout.iter() {
+            arena.insert(grid, site, q);
+        }
+        arena
+    }
+
+    fn mark_free(&mut self, zone: Zone, site: SiteId) {
+        let list = &mut self.free[zone_index(zone)];
+        self.free_pos[site.index()] = list.len();
+        list.push(site);
+    }
+
+    fn unmark_free(&mut self, zone: Zone, site: SiteId) {
+        let list = &mut self.free[zone_index(zone)];
+        let pos = self.free_pos[site.index()];
+        debug_assert!(pos != NOT_FREE, "site was not in the free list");
+        list.swap_remove(pos);
+        if let Some(&moved) = list.get(pos) {
+            self.free_pos[moved.index()] = pos;
+        }
+        self.free_pos[site.index()] = NOT_FREE;
+    }
+
+    /// Plans `q` to occupy `site` after the transition.
+    fn insert(&mut self, grid: &ZonedGrid, site: SiteId, q: Qubit) {
+        let cell = &mut self.planned[site.index()];
+        let was_empty = cell.is_empty();
+        cell.insert(q);
+        if was_empty {
+            self.unmark_free(grid.zone_of(site), site);
+        }
+    }
+
+    /// Removes `q` from the planned occupants of `site`.
+    fn remove(&mut self, grid: &ZonedGrid, site: SiteId, q: Qubit) {
+        let cell = &mut self.planned[site.index()];
+        let was_empty = cell.is_empty();
+        cell.remove(q);
+        if !was_empty && cell.is_empty() {
+            self.mark_free(grid.zone_of(site), site);
+        }
+    }
+
+    fn planned_len(&self, site: SiteId) -> usize {
+        self.planned[site.index()].0.iter().flatten().count()
+    }
+}
 
 /// The mutable state a [`RoutingStrategy`](crate::RoutingStrategy) threads
 /// through the stage sequence: the target architecture, the evolving qubit
-/// layout and the storage-mode flag.
+/// layout, the storage-mode flag and the persistent planned-occupancy
+/// arena.
 ///
 /// The state owns the full greedy transition planner
-/// ([`RoutingState::route_stage`]); strategies either call it directly
-/// (greedy, multi-AOD — which differs only in move scheduling) or bias its
-/// site decisions ([`RoutingState::route_stage_scored`], the lookahead
-/// router). Custom strategies registered through
+/// ([`RoutingState::route_stage_with`]); strategies either run it under the
+/// [`ZeroBias`] policy (greedy, multi-AOD — which differs only in move
+/// scheduling) or bias its site decisions with their own [`SitePolicy`]
+/// (the lookahead router). Custom strategies registered through
 /// [`PowerMoveCompiler::with_strategy`](crate::PowerMoveCompiler::with_strategy)
-/// get the same entry points.
+/// get the same entry point.
+///
+/// The initial layout must target `arch`'s grid (every placed site within
+/// the grid, at most two qubits per site), as
+/// [`Layout::row_major`] guarantees.
 #[derive(Debug, Clone)]
 pub struct RoutingState {
     arch: Architecture,
     layout: Layout,
     use_storage: bool,
+    arena: OccupancyArena,
 }
 
 impl RoutingState {
     /// Creates the routing state starting from `initial_layout`.
     #[must_use]
     pub fn new(arch: Architecture, initial_layout: Layout, use_storage: bool) -> Self {
+        let arena = OccupancyArena::new(arch.grid(), &initial_layout);
         RoutingState {
             arch,
             layout: initial_layout,
             use_storage,
+            arena,
         }
     }
 
@@ -102,7 +302,7 @@ impl RoutingState {
     }
 
     /// Plans the greedy single-qubit movements that prepare the given stage
-    /// and applies them to the internal layout.
+    /// under a [`SitePolicy`] and applies them to the internal layout.
     ///
     /// The plan follows the three steps of Sec. 5.2:
     ///
@@ -111,39 +311,32 @@ impl RoutingState {
     ///    descending order of their `y` coordinate;
     /// 2. interacting qubits are labelled static / mobile / undecided
     ///    according to the four zone cases of Fig. 4;
-    /// 3. undecided qubits (and their partners) are assigned the nearest
-    ///    free computation-zone site.
+    /// 3. undecided qubits (and their partners) are assigned the free
+    ///    computation-zone site minimizing anchor distance plus
+    ///    [`SitePolicy::bias`].
+    ///
+    /// [`ZeroBias`] scores every site by distance alone and is the greedy
+    /// plan; strategy-specific policies steer only step 3.
     ///
     /// # Errors
     ///
     /// Returns [`CompileError::NoFreeSite`] if a zone runs out of free sites;
     /// this cannot happen with the paper's default grid dimensions.
-    pub fn route_stage(&mut self, stage: &Stage) -> Result<StageRouting, CompileError> {
-        self.route_stage_scored(stage, &|_, _, _| 0.0)
-    }
-
-    /// Like [`RoutingState::route_stage`], but biases the step-3 resolution
-    /// of undecided pairs: each candidate interaction site's distance score
-    /// is increased by `bias(anchor, mobile, site)`. A zero bias reproduces
-    /// the greedy plan bit for bit.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`RoutingState::route_stage`].
-    pub fn route_stage_scored(
+    pub fn route_stage_with(
         &mut self,
         stage: &Stage,
-        bias: &SiteBias<'_>,
+        policy: &(impl SitePolicy + ?Sized),
     ) -> Result<StageRouting, CompileError> {
-        let grid = self.arch.grid().clone();
+        // Disjoint field borrows: the grid stays borrowed from `arch` for
+        // the whole stage while the arena and layout are mutated.
+        let RoutingState {
+            arch,
+            layout,
+            use_storage,
+            arena,
+        } = self;
+        let grid = arch.grid();
         let interacting = stage.interacting_qubits();
-
-        // Planned occupancy after the transition: start from every placed
-        // qubit and update as movement decisions are made.
-        let mut planned: BTreeMap<SiteId, BTreeSet<Qubit>> = BTreeMap::new();
-        for (q, site) in self.layout.iter() {
-            planned.entry(site).or_default().insert(q);
-        }
 
         let mut routing = StageRouting::default();
 
@@ -151,9 +344,8 @@ impl RoutingState {
         // co-located from a previous stage that do not interact now would
         // undergo an unwanted CZ during the next excitation, so one of them
         // is relocated to the nearest free computation-zone site.
-        if !self.use_storage {
-            let stale: Vec<(Qubit, SiteId)> = self
-                .layout
+        if !*use_storage {
+            let stale: Vec<(Qubit, SiteId)> = layout
                 .occupied_sites()
                 .filter(|(_, occupants)| {
                     occupants.len() >= 2 && occupants.iter().all(|q| !interacting.contains(q))
@@ -167,15 +359,14 @@ impl RoutingState {
                 })
                 .collect();
             for (q, from) in stale {
-                planned.entry(from).or_default().remove(&q);
+                arena.remove(grid, from, q);
                 let from_pos = grid.position(from);
-                let target = self
-                    .nearest_free_site(&grid, &planned, from_pos, Zone::Compute)
+                let target = nearest_free_site(arena, layout, grid, from_pos, Zone::Compute)
                     .ok_or(CompileError::NoFreeSite {
                         qubit: q,
                         zone: Zone::Compute,
                     })?;
-                planned.entry(target).or_default().insert(q);
+                arena.insert(grid, target, q);
                 routing.storage_moves.push(SiteMove::new(q, from, target));
             }
         }
@@ -188,9 +379,8 @@ impl RoutingState {
         // shallowest free row, which both shortens the longest move and
         // preserves the relative row order of the parked qubits, so the
         // parking moves typically fit in a single collective move.
-        if self.use_storage {
-            let mut to_park: Vec<(Qubit, SiteId, Point)> = self
-                .layout
+        if *use_storage {
+            let mut to_park: Vec<(Qubit, SiteId, Point)> = layout
                 .iter()
                 .filter(|(q, site)| {
                     !interacting.contains(q) && grid.zone_of(*site) == Zone::Compute
@@ -200,25 +390,22 @@ impl RoutingState {
             to_park.sort_by(|a, b| {
                 b.2.y
                     .partial_cmp(&a.2.y)
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .unwrap_or(Ordering::Equal)
                     .then(a.0.cmp(&b.0))
             });
             for (q, from, from_pos) in to_park {
-                planned.entry(from).or_default().remove(&q);
+                arena.remove(grid, from, q);
                 let (col, _) = grid.col_row(from);
                 let same_column = (0..grid.storage_rows())
                     .filter_map(|row| grid.site(Zone::Storage, col, row))
-                    .find(|s| {
-                        planned.get(s).map_or(0, BTreeSet::len) == 0
-                            && self.layout.occupancy(*s) == 0
-                    });
+                    .find(|s| arena.planned_len(*s) == 0 && layout.occupancy(*s) == 0);
                 let target = same_column
-                    .or_else(|| self.nearest_free_site(&grid, &planned, from_pos, Zone::Storage))
+                    .or_else(|| nearest_free_site(arena, layout, grid, from_pos, Zone::Storage))
                     .ok_or(CompileError::NoFreeSite {
                         qubit: q,
                         zone: Zone::Storage,
                     })?;
-                planned.entry(target).or_default().insert(q);
+                arena.insert(grid, target, q);
                 routing.storage_moves.push(SiteMove::new(q, from, target));
             }
         }
@@ -228,8 +415,9 @@ impl RoutingState {
         // moves (Sec. 6.1 prioritizes move-ins), so a site they vacate can
         // safely host an interaction afterwards — this is the Fig. 4(c)
         // case 1 optimization.
-        let storage_movers: BTreeSet<Qubit> =
-            routing.storage_moves.iter().map(|m| m.qubit).collect();
+        for m in &routing.storage_moves {
+            arena.storage_mover[m.qubit.as_usize()] = true;
+        }
 
         // Step 2: label interacting qubits and decide direct moves.
         // `pending` holds (anchor, mobile) pairs whose interaction site is
@@ -238,8 +426,8 @@ impl RoutingState {
         for gate in stage.gates() {
             let a = gate.lo();
             let b = gate.hi();
-            let sa = self.layout.site_of(a).expect("interacting qubit is placed");
-            let sb = self.layout.site_of(b).expect("interacting qubit is placed");
+            let sa = layout.site_of(a).expect("interacting qubit is placed");
+            let sb = layout.site_of(b).expect("interacting qubit is placed");
             if sa == sb {
                 // Already co-located from the previous stage: both static.
                 continue;
@@ -258,8 +446,8 @@ impl RoutingState {
                 (Zone::Storage, Zone::Compute) => (a, b, sb, false),
                 (Zone::Compute, Zone::Storage) => (b, a, sa, false),
                 (Zone::Compute, Zone::Compute) => {
-                    let blocked_a = self.is_blocked(&planned, &storage_movers, sa, a, b);
-                    let blocked_b = self.is_blocked(&planned, &storage_movers, sb, a, b);
+                    let blocked_a = is_blocked(arena, layout, sa, a, b);
+                    let blocked_b = is_blocked(arena, layout, sb, a, b);
                     if !blocked_b {
                         (a, b, sb, false)
                     } else if !blocked_a {
@@ -272,13 +460,11 @@ impl RoutingState {
 
             // The mobile qubit leaves its current site in every case.
             let mobile_site = if mobile == a { sa } else { sb };
-            planned.entry(mobile_site).or_default().remove(&mobile);
+            arena.remove(grid, mobile_site, mobile);
 
             // An anchor whose site hosts another qubit must relocate
             // (it becomes "undecided" in the paper's terminology).
-            if !anchor_moves
-                && self.is_blocked(&planned, &storage_movers, anchor_site, anchor, mobile)
-            {
+            if !anchor_moves && is_blocked(arena, layout, anchor_site, anchor, mobile) {
                 anchor_moves = true;
             }
             // An anchor sitting in storage always has to move out.
@@ -287,10 +473,10 @@ impl RoutingState {
             }
 
             if anchor_moves {
-                planned.entry(anchor_site).or_default().remove(&anchor);
+                arena.remove(grid, anchor_site, anchor);
                 pending.push((anchor, mobile));
             } else {
-                planned.entry(anchor_site).or_default().insert(mobile);
+                arena.insert(grid, anchor_site, mobile);
                 routing
                     .interaction_moves
                     .push(SiteMove::new(mobile, mobile_site, anchor_site));
@@ -298,27 +484,20 @@ impl RoutingState {
         }
 
         // Step 3: resolve undecided qubits to the best free compute site —
-        // nearest to the anchor, plus whatever bias the strategy adds.
+        // nearest to the anchor, plus whatever bias the policy adds.
         for (anchor, mobile) in pending {
-            let anchor_from = self
-                .layout
-                .site_of(anchor)
-                .expect("interacting qubit is placed");
-            let mobile_from = self
-                .layout
-                .site_of(mobile)
-                .expect("interacting qubit is placed");
+            let anchor_from = layout.site_of(anchor).expect("interacting qubit is placed");
+            let mobile_from = layout.site_of(mobile).expect("interacting qubit is placed");
             let anchor_pos = grid.position(anchor_from);
-            let target = self
-                .best_free_site(&grid, &planned, Zone::Compute, |site| {
-                    grid.position(site).distance(anchor_pos) + bias(anchor, mobile, site)
-                })
-                .ok_or(CompileError::NoFreeSite {
-                    qubit: anchor,
-                    zone: Zone::Compute,
-                })?;
-            planned.entry(target).or_default().insert(anchor);
-            planned.entry(target).or_default().insert(mobile);
+            let target = best_free_site(arena, layout, Zone::Compute, |site| {
+                grid.position(site).distance(anchor_pos) + policy.bias(anchor, mobile, site)
+            })
+            .ok_or(CompileError::NoFreeSite {
+                qubit: anchor,
+                zone: Zone::Compute,
+            })?;
+            arena.insert(grid, target, anchor);
+            arena.insert(grid, target, mobile);
             routing
                 .interaction_moves
                 .push(SiteMove::new(anchor, anchor_from, target));
@@ -327,84 +506,122 @@ impl RoutingState {
                 .push(SiteMove::new(mobile, mobile_from, target));
         }
 
-        // Apply the transition to the internal layout.
+        // Apply the transition to the internal layout and retire the
+        // per-stage departs-to-storage flags. The layout now matches the
+        // arena's planned occupancy exactly — the invariant that lets the
+        // arena persist into the next stage without a rebuild.
         for m in routing.all_moves() {
-            self.layout.move_qubit(m.qubit, m.to);
+            layout.move_qubit(m.qubit, m.to);
+        }
+        for m in &routing.storage_moves {
+            arena.storage_mover[m.qubit.as_usize()] = false;
         }
         Ok(routing)
     }
 
-    /// Returns `true` if `site` cannot serve as a static interaction site
-    /// for the excluded pair.
+    /// Plans the stage under the [`ZeroBias`] policy.
     ///
-    /// Two kinds of third-party occupants block a site: qubits planned to
-    /// remain there after the transition (they would cluster with the pair
-    /// during the excitation), and qubits still physically present that
-    /// depart later within the same transition (an early arrival would
-    /// transiently overfill the trap site). Occupants that leave for the
-    /// storage zone do *not* block — their collective moves are scheduled
-    /// ahead of every interaction move (Fig. 4(c) case 1 of the paper).
-    fn is_blocked(
-        &self,
-        planned: &BTreeMap<SiteId, BTreeSet<Qubit>>,
-        storage_movers: &BTreeSet<Qubit>,
-        site: SiteId,
-        exclude_a: Qubit,
-        exclude_b: Qubit,
-    ) -> bool {
-        let planned_blocker = planned
-            .get(&site)
-            .is_some_and(|set| set.iter().any(|&q| q != exclude_a && q != exclude_b));
-        let current_blocker = self
-            .layout
-            .occupants(site)
-            .iter()
-            .any(|&q| q != exclude_a && q != exclude_b && !storage_movers.contains(&q));
-        planned_blocker || current_blocker
+    /// # Errors
+    ///
+    /// Same as [`RoutingState::route_stage_with`].
+    #[deprecated(since = "0.1.0", note = "use `route_stage_with(stage, &ZeroBias)`")]
+    pub fn route_stage(&mut self, stage: &Stage) -> Result<StageRouting, CompileError> {
+        self.route_stage_with(stage, &ZeroBias)
     }
 
-    /// Finds the free site of `zone` nearest to `from`.
-    fn nearest_free_site(
-        &self,
-        grid: &powermove_hardware::ZonedGrid,
-        planned: &BTreeMap<SiteId, BTreeSet<Qubit>>,
-        from: Point,
-        zone: Zone,
-    ) -> Option<SiteId> {
-        self.best_free_site(grid, planned, zone, |site| {
-            grid.position(site).distance(from)
-        })
-    }
-
-    /// Finds the free site of `zone` minimizing `score`.
+    /// Plans the stage under a closure-based bias.
     ///
-    /// A site is free when nothing is planned to occupy it after the
-    /// transition. Sites that are also empty *before* the transition are
-    /// preferred, which avoids transient three-atom occupancies while a
-    /// previous occupant is still waiting for its own collective move.
-    /// Ties are broken by site index, keeping every strategy deterministic.
-    fn best_free_site(
-        &self,
-        grid: &powermove_hardware::ZonedGrid,
-        planned: &BTreeMap<SiteId, BTreeSet<Qubit>>,
-        zone: Zone,
-        score: impl Fn(SiteId) -> f64,
-    ) -> Option<SiteId> {
-        let candidates = |also_currently_empty: bool| {
-            grid.sites_in(zone)
-                .filter(move |s| {
-                    planned.get(s).map_or(0, BTreeSet::len) == 0
-                        && (!also_currently_empty || self.layout.occupancy(*s) == 0)
-                })
-                .min_by(|&x, &y| {
-                    score(x)
-                        .partial_cmp(&score(y))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(x.cmp(&y))
-                })
-        };
-        candidates(true).or_else(|| candidates(false))
+    /// # Errors
+    ///
+    /// Same as [`RoutingState::route_stage_with`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `route_stage_with(stage, &BiasFn::new(...))`"
+    )]
+    pub fn route_stage_scored(
+        &mut self,
+        stage: &Stage,
+        bias: &SiteBias<'_>,
+    ) -> Result<StageRouting, CompileError> {
+        self.route_stage_with(stage, &BiasFn::new(bias))
     }
+}
+
+/// Returns `true` if `site` cannot serve as a static interaction site for
+/// the excluded pair.
+///
+/// Two kinds of third-party occupants block a site: qubits planned to
+/// remain there after the transition (they would cluster with the pair
+/// during the excitation), and qubits still physically present that depart
+/// later within the same transition (an early arrival would transiently
+/// overfill the trap site). Occupants that leave for the storage zone do
+/// *not* block — their collective moves are scheduled ahead of every
+/// interaction move (Fig. 4(c) case 1 of the paper).
+fn is_blocked(
+    arena: &OccupancyArena,
+    layout: &Layout,
+    site: SiteId,
+    exclude_a: Qubit,
+    exclude_b: Qubit,
+) -> bool {
+    let planned_blocker = arena.planned[site.index()].blocks(exclude_a, exclude_b);
+    let current_blocker = layout
+        .occupants(site)
+        .iter()
+        .any(|&q| q != exclude_a && q != exclude_b && !arena.storage_mover[q.as_usize()]);
+    planned_blocker || current_blocker
+}
+
+/// Finds the free site of `zone` nearest to `from`.
+fn nearest_free_site(
+    arena: &OccupancyArena,
+    layout: &Layout,
+    grid: &ZonedGrid,
+    from: Point,
+    zone: Zone,
+) -> Option<SiteId> {
+    best_free_site(arena, layout, zone, |site| {
+        grid.position(site).distance(from)
+    })
+}
+
+/// Finds the free site of `zone` minimizing `score`.
+///
+/// A site is free when nothing is planned to occupy it after the
+/// transition — exactly the zone's arena free list. Sites that are also
+/// empty *before* the transition are preferred, which avoids transient
+/// three-atom occupancies while a previous occupant is still waiting for
+/// its own collective move. Ties are broken by site index, keeping every
+/// strategy deterministic regardless of free-list order.
+fn best_free_site(
+    arena: &OccupancyArena,
+    layout: &Layout,
+    zone: Zone,
+    score: impl Fn(SiteId) -> f64,
+) -> Option<SiteId> {
+    // (score, site index) is a strict total order over distinct sites, so a
+    // single fold finds the same minimum the previous full-grid scan did,
+    // in whatever order the free list happens to hold.
+    let beats = |s: f64, site: SiteId, best: &Option<(f64, SiteId)>| match best {
+        None => true,
+        Some((best_score, best_site)) => match s.partial_cmp(best_score) {
+            Some(Ordering::Less) => true,
+            Some(Ordering::Greater) => false,
+            _ => site < *best_site,
+        },
+    };
+    let mut best_vacant: Option<(f64, SiteId)> = None;
+    let mut best_any: Option<(f64, SiteId)> = None;
+    for &site in &arena.free[zone_index(zone)] {
+        let s = score(site);
+        if beats(s, site, &best_any) {
+            best_any = Some((s, site));
+        }
+        if layout.occupancy(site) == 0 && beats(s, site, &best_vacant) {
+            best_vacant = Some((s, site));
+        }
+    }
+    best_vacant.or(best_any).map(|(_, site)| site)
 }
 
 #[cfg(test)]
@@ -460,11 +677,35 @@ mod tests {
         }
     }
 
+    /// The arena's planned occupancy must equal the layout at every stage
+    /// boundary — the invariant that lets the arena persist across stages.
+    fn assert_arena_matches_layout(router: &RoutingState) {
+        let grid = router.architecture().grid();
+        for site in grid.all_sites() {
+            let mut planned: Vec<Qubit> = router.arena.planned[site.index()]
+                .0
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            planned.sort();
+            let mut current: Vec<Qubit> = router.layout().occupants(site).to_vec();
+            current.sort();
+            assert_eq!(planned, current, "arena drifted from layout at {site}");
+            let in_free_list = router.arena.free_pos[site.index()] != NOT_FREE;
+            assert_eq!(
+                in_free_list,
+                planned.is_empty(),
+                "free list stale at {site}"
+            );
+        }
+    }
+
     #[test]
     fn storage_pairs_move_to_compute() {
         let mut router = storage_router(6);
         let st = stage(&[(0, 1), (2, 3)]);
-        let routing = router.route_stage(&st).unwrap();
+        let routing = router.route_stage_with(&st, &ZeroBias).unwrap();
         assert_stage_ready(&router, &st);
         // Both pairs started in storage: four interaction moves, no storage
         // moves (non-interacting qubits were already in storage).
@@ -476,10 +717,10 @@ mod tests {
     fn non_interacting_qubits_return_to_storage() {
         let mut router = storage_router(6);
         let first = stage(&[(0, 1), (2, 3)]);
-        router.route_stage(&first).unwrap();
+        router.route_stage_with(&first, &ZeroBias).unwrap();
         // Next stage uses only qubits 4 and 5: qubits 0-3 must be parked.
         let second = stage(&[(4, 5)]);
-        let routing = router.route_stage(&second).unwrap();
+        let routing = router.route_stage_with(&second, &ZeroBias).unwrap();
         assert_stage_ready(&router, &second);
         assert_eq!(routing.storage_moves.len(), 4);
         let grid = router.architecture().grid();
@@ -493,10 +734,10 @@ mod tests {
     fn consecutive_stages_reuse_layout_without_reverting() {
         let mut router = storage_router(6);
         let first = stage(&[(0, 1), (2, 3), (4, 5)]);
-        router.route_stage(&first).unwrap();
+        router.route_stage_with(&first, &ZeroBias).unwrap();
         // Second stage re-pairs overlapping qubits (the Fig. 3 example).
         let second = stage(&[(1, 2), (3, 4)]);
-        let routing = router.route_stage(&second).unwrap();
+        let routing = router.route_stage_with(&second, &ZeroBias).unwrap();
         assert_stage_ready(&router, &second);
         // Qubits 0 and 5 are non-interacting and go to storage; the other
         // four re-pair directly without reverting to the initial layout.
@@ -508,10 +749,10 @@ mod tests {
     fn already_colocated_pair_does_not_move() {
         let mut router = storage_router(4);
         let st = stage(&[(0, 1)]);
-        router.route_stage(&st).unwrap();
+        router.route_stage_with(&st, &ZeroBias).unwrap();
         let moves_first = router.layout().site_of(q(0)).unwrap();
         // Re-running the same pair requires no interaction moves.
-        let routing = router.route_stage(&st).unwrap();
+        let routing = router.route_stage_with(&st, &ZeroBias).unwrap();
         assert!(routing.interaction_moves.is_empty());
         assert_eq!(router.layout().site_of(q(0)).unwrap(), moves_first);
     }
@@ -520,7 +761,7 @@ mod tests {
     fn non_storage_mode_keeps_everything_in_compute() {
         let mut router = compute_router(9);
         let st = stage(&[(0, 1), (2, 3), (4, 5)]);
-        let routing = router.route_stage(&st).unwrap();
+        let routing = router.route_stage_with(&st, &ZeroBias).unwrap();
         assert_stage_ready(&router, &st);
         assert!(routing.storage_moves.is_empty());
         let grid = router.architecture().grid();
@@ -533,10 +774,12 @@ mod tests {
     fn non_storage_mode_resolves_blocked_anchors() {
         let mut router = compute_router(9);
         // Pair the row 0 neighbours first.
-        router.route_stage(&stage(&[(0, 1), (2, 3)])).unwrap();
+        router
+            .route_stage_with(&stage(&[(0, 1), (2, 3)]), &ZeroBias)
+            .unwrap();
         // Now pair across the previous pairs, forcing relocations.
         let st = stage(&[(1, 2), (0, 3)]);
-        let routing = router.route_stage(&st).unwrap();
+        let routing = router.route_stage_with(&st, &ZeroBias).unwrap();
         assert_stage_ready(&router, &st);
         assert!(!routing.is_empty());
     }
@@ -551,8 +794,23 @@ mod tests {
             stage(&[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]),
         ];
         for st in &stages {
-            router.route_stage(st).unwrap();
+            router.route_stage_with(st, &ZeroBias).unwrap();
             assert_stage_ready(&router, st);
+            assert_arena_matches_layout(&router);
+        }
+    }
+
+    #[test]
+    fn arena_tracks_layout_in_non_storage_mode() {
+        let mut router = compute_router(9);
+        let stages = [
+            stage(&[(0, 1), (2, 3), (4, 5)]),
+            stage(&[(1, 2), (0, 3)]),
+            stage(&[(4, 8), (5, 6)]),
+        ];
+        for st in &stages {
+            router.route_stage_with(st, &ZeroBias).unwrap();
+            assert_arena_matches_layout(&router);
         }
     }
 
@@ -560,13 +818,13 @@ mod tests {
     fn routing_len_and_all_moves_agree() {
         let mut router = storage_router(6);
         let st = stage(&[(0, 1)]);
-        let routing = router.route_stage(&st).unwrap();
+        let routing = router.route_stage_with(&st, &ZeroBias).unwrap();
         assert_eq!(routing.all_moves().len(), routing.len());
         assert!(!routing.is_empty());
     }
 
     #[test]
-    fn zero_bias_reproduces_the_greedy_plan() {
+    fn zero_bias_policy_matches_a_zero_closure() {
         let stages = [
             stage(&[(0, 1), (2, 3), (4, 5), (6, 7)]),
             stage(&[(1, 2), (3, 4), (5, 6)]),
@@ -575,8 +833,10 @@ mod tests {
         let mut greedy = storage_router(8);
         let mut scored = storage_router(8);
         for st in &stages {
-            let a = greedy.route_stage(st).unwrap();
-            let b = scored.route_stage_scored(st, &|_, _, _| 0.0).unwrap();
+            let a = greedy.route_stage_with(st, &ZeroBias).unwrap();
+            let b = scored
+                .route_stage_with(st, &BiasFn::new(|_, _, _| 0.0))
+                .unwrap();
             assert_eq!(a, b);
         }
         assert_eq!(greedy.layout(), scored.layout());
@@ -588,19 +848,35 @@ mod tests {
         // default (nearest) site pushes the pair elsewhere.
         let mut default_router = storage_router(4);
         let st = stage(&[(0, 1)]);
-        let default_plan = default_router.route_stage(&st).unwrap();
+        let default_plan = default_router.route_stage_with(&st, &ZeroBias).unwrap();
         let default_site = default_plan.interaction_moves[0].to;
 
         let mut biased_router = storage_router(4);
         let biased_plan = biased_router
-            .route_stage_scored(&st, &|_, _, site| {
-                if site == default_site {
-                    1.0 // one meter: dwarfs any on-grid distance
-                } else {
-                    0.0
-                }
-            })
+            .route_stage_with(
+                &st,
+                &BiasFn::new(|_, _, site| {
+                    if site == default_site {
+                        1.0 // one meter: dwarfs any on-grid distance
+                    } else {
+                        0.0
+                    }
+                }),
+            )
             .unwrap();
         assert_ne!(biased_plan.interaction_moves[0].to, default_site);
+    }
+
+    #[test]
+    fn policy_works_through_a_trait_object() {
+        // `route_stage_with` accepts unsized policies, so `&dyn SitePolicy`
+        // plugs in directly.
+        let mut via_dyn = storage_router(6);
+        let mut via_zero = storage_router(6);
+        let st = stage(&[(0, 1), (2, 3)]);
+        let policy: &dyn SitePolicy = &ZeroBias;
+        let a = via_dyn.route_stage_with(&st, policy).unwrap();
+        let b = via_zero.route_stage_with(&st, &ZeroBias).unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -57,6 +57,7 @@ pub use program::{CompileMetadata, CompiledProgram, PassCounter, PassTiming};
 pub use timeline::{AodWindow, EventKind, Timeline, TimelineEvent};
 pub use timing::{
     instruction_duration, move_group_duration, movement_wall_clock, one_qubit_layer_duration,
+    MovementClock,
 };
 pub use trace::{simulate, ExecutionTrace};
 pub use validate::validate;

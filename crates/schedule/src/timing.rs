@@ -49,6 +49,59 @@ pub fn movement_wall_clock(instructions: &[Instruction], arch: &Architecture) ->
         .sum()
 }
 
+/// An incremental movement-wall-clock accumulator.
+///
+/// Folds per-instruction move-group durations in stream order, so observing
+/// every instruction of a sequence yields a total **bit-identical** to
+/// [`movement_wall_clock`] over the same sequence — both are the same
+/// left-to-right `f64` summation (floating-point addition is not
+/// associative, so any other grouping of the partial sums could differ in
+/// the last ulp). Routing replay uses this to score candidates while
+/// instructions stream out of move scheduling, without a second pass over
+/// the finished program.
+///
+/// # Example
+///
+/// ```
+/// use powermove_schedule::{movement_wall_clock, Instruction, MovementClock};
+/// use powermove_hardware::Architecture;
+///
+/// let arch = Architecture::for_qubits(4);
+/// let instructions: Vec<Instruction> = Vec::new();
+/// let mut clock = MovementClock::new();
+/// for instruction in &instructions {
+///     clock.observe(instruction, &arch);
+/// }
+/// assert_eq!(clock.total(), movement_wall_clock(&instructions, &arch));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MovementClock {
+    total: f64,
+}
+
+impl MovementClock {
+    /// A clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        MovementClock::default()
+    }
+
+    /// Adds one instruction's movement contribution (zero unless it is a
+    /// move group).
+    pub fn observe(&mut self, instruction: &Instruction, arch: &Architecture) {
+        self.total += match instruction {
+            Instruction::MoveGroup { coll_moves } => move_group_duration(coll_moves, arch),
+            _ => 0.0,
+        };
+    }
+
+    /// The accumulated movement wall clock, in seconds.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+}
+
 /// Duration of one instruction, in seconds.
 #[must_use]
 pub fn instruction_duration(instruction: &Instruction, arch: &Architecture) -> f64 {
@@ -119,6 +172,38 @@ mod tests {
         assert_eq!(
             move_group_duration(&[CollMove::new(AodId::new(0), vec![])], &arch),
             0.0
+        );
+    }
+
+    #[test]
+    fn movement_clock_is_bit_identical_to_the_wall_clock_fold() {
+        let arch = Architecture::for_qubits(9);
+        let g = arch.grid();
+        let s = |c, r| g.site(Zone::Compute, c, r).unwrap();
+        let instructions = vec![
+            Instruction::move_group(vec![CollMove::new(
+                AodId::new(0),
+                vec![SiteMove::new(q(0), s(0, 0), s(1, 0))],
+            )]),
+            Instruction::rydberg(vec![CzGate::new(q(0), q(1))]),
+            Instruction::move_group(vec![
+                CollMove::new(AodId::new(0), vec![SiteMove::new(q(1), s(0, 1), s(2, 2))]),
+                CollMove::new(AodId::new(1), vec![SiteMove::new(q(2), s(2, 0), s(0, 2))]),
+            ]),
+            Instruction::move_group(vec![CollMove::new(
+                AodId::new(0),
+                vec![SiteMove::new(q(0), s(1, 0), s(2, 1))],
+            )]),
+        ];
+        let mut clock = MovementClock::new();
+        for instruction in &instructions {
+            clock.observe(instruction, &arch);
+        }
+        // Exact equality on purpose: the clock must replay the same
+        // left-to-right summation, not merely approximate it.
+        assert_eq!(
+            clock.total().to_bits(),
+            movement_wall_clock(&instructions, &arch).to_bits()
         );
     }
 

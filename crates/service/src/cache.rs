@@ -1,9 +1,33 @@
-//! The content-addressed schedule cache.
+//! The content-addressed LRU cache backing the compile service.
 
 use powermove_schedule::CompiledProgram;
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+/// A bounded LRU cache of `Arc`-shared values keyed by a 64-bit content
+/// hash.
+///
+/// The service instantiates it twice: as [`ScheduleCache`] for emitted
+/// programs (keyed by [`content_hash`](powermove::content_hash) over the
+/// full request triple) and for frozen front-end IRs (keyed by
+/// [`stage_hash`](powermove::stage_hash) over the architecture-independent
+/// `(circuit, config)` pair). Entries are shared as [`Arc`]s, so a hit
+/// never clones the value.
+///
+/// The cache is not internally synchronized;
+/// [`CompileService`](crate::CompileService) wraps it in a mutex and adds
+/// in-flight coalescing on top.
+#[derive(Debug)]
+pub struct LruCache<T> {
+    capacity: usize,
+    entries: HashMap<u64, Arc<T>>,
+    /// Recency order: front is least recently used, back most recent.
+    recency: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
 
 /// An LRU cache of emitted programs, keyed by the
 /// [`ContentHash`](powermove::ContentHash) of the compile request that
@@ -13,12 +37,7 @@ use std::sync::Arc;
 /// program is byte-identical (in the sense of
 /// [`canonical_program_bytes`](powermove_schedule::canonical_program_bytes))
 /// to what a cold compile of the same triple would emit — the cache can
-/// never serve a stale or divergent schedule. Entries are shared as
-/// [`Arc`]s, so a hit never clones the program.
-///
-/// The cache is not internally synchronized;
-/// [`CompileService`](crate::CompileService) wraps it in a mutex and adds
-/// in-flight coalescing on top.
+/// never serve a stale or divergent schedule.
 ///
 /// # Example
 ///
@@ -46,16 +65,7 @@ use std::sync::Arc;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
-pub struct ScheduleCache {
-    capacity: usize,
-    entries: HashMap<u64, Arc<CompiledProgram>>,
-    /// Recency order: front is least recently used, back most recent.
-    recency: VecDeque<u64>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-}
+pub type ScheduleCache = LruCache<CompiledProgram>;
 
 /// A point-in-time snapshot of cache effectiveness counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -72,15 +82,15 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
-impl ScheduleCache {
-    /// Creates a cache holding at most `capacity` programs.
+impl<T> LruCache<T> {
+    /// Creates a cache holding at most `capacity` values.
     ///
     /// A capacity of `0` disables caching: every lookup misses and inserts
     /// are dropped, which keeps the service correct (every request compiles
     /// cold) while storing nothing.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        ScheduleCache {
+        LruCache {
             capacity,
             entries: HashMap::new(),
             recency: VecDeque::new(),
@@ -90,17 +100,17 @@ impl ScheduleCache {
         }
     }
 
-    /// Looks up a program by content key, marking the entry most recently
+    /// Looks up a value by content key, marking the entry most recently
     /// used on a hit. Counts a hit or a miss either way.
-    pub fn get(&mut self, key: u64) -> Option<Arc<CompiledProgram>> {
+    pub fn get(&mut self, key: u64) -> Option<Arc<T>> {
         match self.entries.get(&key) {
-            Some(program) => {
+            Some(value) => {
                 self.hits += 1;
                 if let Some(pos) = self.recency.iter().position(|k| *k == key) {
                     self.recency.remove(pos);
                 }
                 self.recency.push_back(key);
-                Some(Arc::clone(program))
+                Some(Arc::clone(value))
             }
             None => {
                 self.misses += 1;
@@ -115,15 +125,15 @@ impl ScheduleCache {
         self.entries.contains_key(&key)
     }
 
-    /// Inserts a program under its content key, evicting the least recently
+    /// Inserts a value under its content key, evicting the least recently
     /// used entries if the cache is over capacity. Re-inserting an existing
-    /// key refreshes its recency (the program is identical by construction,
+    /// key refreshes its recency (the value is identical by construction,
     /// so which copy survives is immaterial).
-    pub fn insert(&mut self, key: u64, program: Arc<CompiledProgram>) {
+    pub fn insert(&mut self, key: u64, value: Arc<T>) {
         if self.capacity == 0 {
             return;
         }
-        if self.entries.insert(key, program).is_none() {
+        if self.entries.insert(key, value).is_none() {
             self.recency.push_back(key);
         } else if let Some(pos) = self.recency.iter().position(|k| *k == key) {
             self.recency.remove(pos);
@@ -238,5 +248,15 @@ mod tests {
         // Key 2 was the least recently used after 1's refresh.
         assert!(cache.contains(1));
         assert!(!cache.contains(2));
+    }
+
+    #[test]
+    fn cache_is_generic_over_the_stored_value() {
+        let mut cache: LruCache<&str> = LruCache::new(2);
+        cache.insert(7, Arc::new("staged"));
+        assert_eq!(cache.get(7).as_deref(), Some(&"staged"));
+        assert!(cache.get(8).is_none());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
     }
 }

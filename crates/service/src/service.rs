@@ -1,7 +1,9 @@
 //! The compile service: cache, in-flight coalescing and batch admission.
 
-use crate::cache::{CacheStats, ScheduleCache};
-use powermove::{content_hash, CompileError, CompilerConfig};
+use crate::cache::{CacheStats, LruCache, ScheduleCache};
+use powermove::{
+    content_hash, stage_hash, CompileError, CompilerConfig, PowerMoveCompiler, StagedIr,
+};
 use powermove_circuit::Circuit;
 use powermove_hardware::Architecture;
 use powermove_schedule::{canonical_json, fnv1a_64, CompiledProgram};
@@ -38,19 +40,29 @@ impl CacheOutcome {
 /// frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct ServiceStats {
-    /// Cache effectiveness counters.
+    /// Program-cache effectiveness counters.
     pub cache: CacheStats,
+    /// Cold compiles whose front end was answered from the stage cache
+    /// (only the route/emit back end ran).
+    pub stage_hits: u64,
+    /// Cold compiles that staged from scratch and populated the stage
+    /// cache.
+    pub stage_misses: u64,
     /// Cold compiles actually executed (misses that reached the compiler).
     pub compiles: u64,
     /// Requests that coalesced onto another request's in-flight compile.
     pub coalesced: u64,
 }
 
-/// State guarded by the service mutex: the cache plus the set of content
-/// keys whose compiles are currently in flight.
+/// State guarded by the service mutex: the program and stage caches plus
+/// the set of content keys whose compiles are currently in flight.
 #[derive(Debug)]
 struct Inner {
     cache: ScheduleCache,
+    /// Frozen front-end IRs keyed by [`stage_hash`]: the front end is
+    /// architecture-independent, so requests that differ only in their
+    /// target machine share one staged IR and replay only the back end.
+    stages: LruCache<StagedIr>,
     in_flight: HashSet<u64>,
 }
 
@@ -64,6 +76,14 @@ struct Inner {
 /// its result ([`CacheOutcome::Coalesced`]); otherwise the request compiles
 /// cold exactly once ([`CacheOutcome::Miss`]). Since compilation is pure,
 /// all three paths yield byte-identical programs.
+///
+/// Cold compiles are themselves split along the compiler's front/back-end
+/// seam: the front end ([`PowerMoveCompiler::stage`]) depends only on the
+/// `(circuit, config)` pair, so its frozen [`StagedIr`] is cached under
+/// [`stage_hash`] and shared by requests that differ only in architecture —
+/// those requests replay only the route/emit back end. The `stage_hits` /
+/// `stage_misses` counters in [`ServiceStats`] report how often that
+/// happens.
 ///
 /// # Example
 ///
@@ -101,12 +121,15 @@ pub struct CompileService {
 }
 
 impl CompileService {
-    /// Creates a service whose cache holds at most `capacity` programs.
+    /// Creates a service whose program cache holds at most `capacity`
+    /// emitted programs and whose stage cache at most `capacity` frozen
+    /// front-end IRs.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         CompileService {
             inner: Mutex::new(Inner {
                 cache: ScheduleCache::new(capacity),
+                stages: LruCache::new(capacity),
                 in_flight: HashSet::new(),
             }),
             landed: Condvar::new(),
@@ -159,8 +182,11 @@ impl CompileService {
             }
         }
         // Compile outside the lock: identical concurrent requests block on
-        // the condvar above, different requests proceed in parallel.
-        let result = powermove::compile(circuit, arch, config);
+        // the condvar above, different requests proceed in parallel. The
+        // front end is served from the stage cache when possible, so a
+        // request that differs from a cached one only in architecture pays
+        // only for the route/emit back end.
+        let result = self.emit_via_stage_cache(circuit, arch, config);
         let mut inner = self.inner.lock().expect("service lock poisoned");
         inner.in_flight.remove(&key);
         let result = result.map(|program| {
@@ -172,6 +198,34 @@ impl CompileService {
         drop(inner);
         self.landed.notify_all();
         result
+    }
+
+    /// Runs one cold compile, reusing a cached front-end IR if one exists
+    /// for this `(circuit, config)` pair.
+    fn emit_via_stage_cache(
+        &self,
+        circuit: &Circuit,
+        arch: &Architecture,
+        config: &CompilerConfig,
+    ) -> Result<CompiledProgram, CompileError> {
+        let compiler = PowerMoveCompiler::new(*config);
+        let stage_key = stage_hash(circuit, config).value();
+        let cached = {
+            let mut inner = self.inner.lock().expect("service lock poisoned");
+            inner.stages.get(stage_key)
+        };
+        let ir = match cached {
+            Some(ir) => ir,
+            None => {
+                // Stage outside the lock; a concurrent duplicate insert is
+                // benign because staging is pure — both IRs are identical.
+                let ir = Arc::new(compiler.stage(circuit));
+                let mut inner = self.inner.lock().expect("service lock poisoned");
+                inner.stages.insert(stage_key, Arc::clone(&ir));
+                ir
+            }
+        };
+        compiler.emit(&ir, arch)
     }
 
     /// Compiles a batch of requests on `pool`, grouping them by
@@ -214,8 +268,11 @@ impl CompileService {
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         let inner = self.inner.lock().expect("service lock poisoned");
+        let stages = inner.stages.stats();
         ServiceStats {
             cache: inner.cache.stats(),
+            stage_hits: stages.hits,
+            stage_misses: stages.misses,
             compiles: self.compiles.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
         }
@@ -249,6 +306,44 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.cache.entries, 3);
         assert_eq!(stats.cache.misses, 3);
+    }
+
+    #[test]
+    fn architecture_sweep_shares_one_staged_ir() {
+        let service = CompileService::new(16);
+        let config = CompilerConfig::default();
+        let circuit = ring(6);
+        // Same circuit and config, three different machines: three distinct
+        // content keys (three cold compiles) but one shared front end.
+        for aods in [1, 2, 4] {
+            let arch = Architecture::for_qubits(6).with_num_aods(aods);
+            let (_, outcome) = service.compile(&circuit, &arch, &config).unwrap();
+            assert_eq!(outcome, CacheOutcome::Miss);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.compiles, 3);
+        assert_eq!(stats.stage_misses, 1);
+        assert_eq!(stats.stage_hits, 2);
+    }
+
+    #[test]
+    fn stage_and_emit_match_the_all_in_one_compile() {
+        let service = CompileService::new(16);
+        let config = CompilerConfig::default();
+        let circuit = ring(8);
+        // Warm the stage cache with a different architecture first, so the
+        // second request emits from a cached IR.
+        let first = Architecture::for_qubits(8);
+        let second = Architecture::for_qubits(8).with_num_aods(2);
+        service.compile(&circuit, &first, &config).unwrap();
+        let (via_cache, outcome) = service.compile(&circuit, &second, &config).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(service.stats().stage_hits, 1);
+        let direct = powermove::compile(&circuit, &second, &config).unwrap();
+        assert_eq!(
+            powermove_schedule::canonical_program_bytes(&via_cache),
+            powermove_schedule::canonical_program_bytes(&direct),
+        );
     }
 
     #[test]

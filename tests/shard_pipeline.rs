@@ -67,17 +67,25 @@ fn standard_shards_are_a_disjoint_exact_cover_of_the_gated_suite() {
     }
 
     // Exact cover: the union is precisely Table 2 under the three standard
-    // backends, plus the Fig. 6 sweep extras under the three backends, plus
-    // the Fig. 7 multi-AOD grid under the greedy with-storage, multi-AOD
-    // scheduler and portfolio auto-tuner backends.
+    // backends plus the portfolio auto-tuner (whose stage-once replay
+    // compile clock the table2 shards gate), plus the Fig. 6 sweep extras
+    // under the three standard backends, plus the Fig. 7 multi-AOD grid
+    // under the greedy with-storage, multi-AOD scheduler and portfolio
+    // auto-tuner backends.
     let standard = [ENOLA, POWERMOVE_NON_STORAGE, POWERMOVE_STORAGE];
+    let table2_backends = [
+        ENOLA,
+        POWERMOVE_NON_STORAGE,
+        POWERMOVE_STORAGE,
+        POWERMOVE_AUTO,
+    ];
     let mut expected: BTreeSet<(String, String)> = BTreeSet::new();
     let table2_names: Vec<String> = table2_suite(DEFAULT_SEED)
         .into_iter()
         .map(|i| i.name)
         .collect();
     for name in &table2_names {
-        for backend in standard {
+        for backend in table2_backends {
             expected.insert((backend.to_string(), name.clone()));
         }
     }
