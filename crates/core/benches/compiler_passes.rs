@@ -1,11 +1,17 @@
 //! Per-pass compiler benchmarks over log-scaled circuit sizes.
 //!
-//! Four groups isolate the phases of the stage-once/replay-many pipeline:
+//! Five groups isolate the phases of the stage-once/replay-many pipeline:
 //!
 //! * `stage` — the front end (synthesis + stage partitioning), run once per
 //!   portfolio regardless of candidate count;
 //! * `route` — one route-only back-end replay per built-in strategy from a
-//!   shared frozen [`StagedIr`];
+//!   shared frozen [`StagedIr`]; after timing, each size prints a
+//!   `route-counters/<n>: site_scans=… sites_pruned=…` line from a greedy
+//!   replay so the spatial index's candidate pruning is observable (and CI
+//!   can gate on it);
+//! * `best_free_site` — the routing inner loop in isolation: the
+//!   index-pruned search (`indexed`) against the linear reference scan
+//!   (`linear`) over identical fragmented occupancy;
 //! * `emit` — the full back end including metadata assembly
 //!   ([`PowerMoveCompiler::emit`]);
 //! * `portfolio` — portfolio auto-tuning end-to-end, with the pre-replay
@@ -19,18 +25,18 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use powermove::{
-    CompilerConfig, GreedyRouter, LookaheadRouter, MultiAodScheduler, PowerMoveCompiler,
-    RoutingConfig, RoutingStrategy,
+    CompilerConfig, FreeSiteHarness, GreedyRouter, LookaheadRouter, MultiAodScheduler,
+    PowerMoveCompiler, RoutingConfig, RoutingStrategy, SITES_PRUNED, SITE_SCANS,
 };
 use powermove_benchmarks::{generate, BenchmarkFamily};
-use powermove_circuit::Circuit;
-use powermove_hardware::Architecture;
+use powermove_circuit::{Circuit, Qubit};
+use powermove_hardware::{Architecture, Point, SiteId, Zone};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Log-scaled circuit widths: QAOA on random 3-regular graphs, the suite's
 /// routing-heaviest family.
-const SIZES: &[u32] = &[16, 32, 64, 128];
+const SIZES: &[u32] = &[16, 32, 64, 128, 256];
 
 const SEED: u64 = 3;
 
@@ -82,6 +88,81 @@ fn bench_route(c: &mut Criterion) {
                 b.iter(|| black_box(session.replay(&arch, strategy.clone()).unwrap()));
             });
         }
+        // One greedy replay outside the timing loop reports how much work
+        // the spatial free-site index saved; CI's bench-smoke job greps
+        // these lines and fails if pruning never engaged.
+        let replay = session
+            .replay(&arch, Arc::new(GreedyRouter))
+            .expect("bench instances replay");
+        let counter = |key: &str| {
+            replay
+                .back_end_counters()
+                .iter()
+                .find(|c| c.name == key)
+                .map_or(0, |c| c.value)
+        };
+        println!(
+            "route-counters/{n}: site_scans={} sites_pruned={}",
+            counter(SITE_SCANS),
+            counter(SITES_PRUNED)
+        );
+    }
+    group.finish();
+}
+
+/// Deterministic xorshift64* so the occupancy pattern needs no RNG crate.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+fn bench_best_free_site(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_free_site");
+    group
+        .sample_size(sample_size())
+        .measurement_time(Duration::from_secs(3));
+    for &n in SIZES {
+        // Occupy roughly half the register at random sites so the free
+        // lists are realistically fragmented, then time one biased query
+        // per qubit from that qubit's own position — the hot shape of the
+        // routing inner loop.
+        let arch = Architecture::for_qubits(n).with_num_aods(4);
+        let mut harness = FreeSiteHarness::new(arch, n);
+        let num_sites = harness.grid().num_sites();
+        let mut rng = XorShift(0x5EED ^ u64::from(n));
+        for q in 0..n {
+            let site = SiteId::new(rng.next() as usize % num_sites);
+            if harness.planned_len(site) < 2 && q % 2 == 0 {
+                harness.occupy(Qubit::new(q), site);
+            }
+        }
+        let anchors: Vec<Point> = (0..n)
+            .map(|_| {
+                let site = SiteId::new(rng.next() as usize % num_sites);
+                harness.grid().position(site)
+            })
+            .collect();
+        let bias = |site: SiteId, _: Point| (site.index() % 7) as f64 * 0.125;
+        group.bench_with_input(BenchmarkId::new("indexed", n), &anchors, |b, anchors| {
+            b.iter(|| {
+                for &anchor in anchors {
+                    black_box(harness.best(Zone::Compute, anchor, 0.0, &bias));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &anchors, |b, anchors| {
+            b.iter(|| {
+                for &anchor in anchors {
+                    black_box(harness.best_linear(Zone::Compute, anchor, &bias));
+                }
+            });
+        });
     }
     group.finish();
 }
@@ -147,6 +228,7 @@ criterion_group!(
     compiler_passes,
     bench_stage,
     bench_route,
+    bench_best_free_site,
     bench_emit,
     bench_portfolio
 );

@@ -94,8 +94,9 @@ pub use pipeline::{
 };
 pub use routing::{
     greedy_move_schedule, group_stage_moves, movement_wall_clock, AutoRouter, BiasFn, CostModel,
-    GreedyRouter, InstanceFeatures, LookaheadRouter, MultiAodScheduler, RoutingState,
-    RoutingStrategy, SiteBias, SitePolicy, StageRouting, ZeroBias,
+    FreeSiteHarness, GreedyRouter, InstanceFeatures, LookaheadRouter, MultiAodScheduler,
+    RoutingState, RoutingStrategy, SiteBias, SitePolicy, StageRouting, ZeroBias, SITES_PRUNED,
+    SITE_SCANS,
 };
 pub use stage_partition::{partition_stages, Stage};
 pub use stage_schedule::schedule_stages;

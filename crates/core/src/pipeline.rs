@@ -629,6 +629,11 @@ impl RoutePass {
                     }
                 }
             }
+            // Free-site search totals for the whole program: candidates the
+            // planner examined and candidates the spatial index pruned.
+            let (site_scans, sites_pruned) = state.scan_counters();
+            ctx.count(crate::routing::SITE_SCANS, site_scans);
+            ctx.count(crate::routing::SITES_PRUNED, sites_pruned);
             Ok(RoutedProgram {
                 num_qubits,
                 initial_layout,

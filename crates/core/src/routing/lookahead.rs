@@ -1,15 +1,101 @@
 //! The lookahead routing strategy: undecided pairs are placed where the
 //! next few stages will want them.
 
-use crate::routing::{BiasFn, RoutingState, RoutingStrategy, StageRouting};
+use crate::routing::{RoutingState, RoutingStrategy, SitePolicy, StageRouting};
 use crate::{CompileError, Stage};
 use powermove_circuit::Qubit;
-use powermove_hardware::Point;
-use std::collections::BTreeMap;
+use powermove_hardware::{Point, SiteId, ZonedGrid};
+use powermove_schedule::Layout;
 
 /// Geometric discount applied per stage of lookahead: a partner `j` stages
 /// ahead contributes `DISCOUNT^j` of its distance to the candidate site.
 const DISCOUNT: f64 = 0.5;
+
+/// Reusable per-qubit attractor storage in CSR layout: `offsets[q]..
+/// offsets[q+1]` indexes `entries` with qubit `q`'s `(weight, position)`
+/// attractors. Rebuilt in place each stage — no per-stage `BTreeMap`
+/// allocation churn, no per-entry `Vec` — and owned by the
+/// [`RoutingState`] because strategies are shared `&self` across
+/// concurrent sessions.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AttractorBuffers {
+    offsets: Vec<u32>,
+    cursors: Vec<u32>,
+    entries: Vec<(f64, Point)>,
+}
+
+impl AttractorBuffers {
+    /// Rebuilds the buffers for the next `depth` stages: two passes, one
+    /// counting entries per qubit, one filling in the same stage-major
+    /// traversal order the per-qubit vectors used to hold — the entry
+    /// order (and therefore the f64 summation order of the bias) is
+    /// unchanged.
+    fn rebuild(&mut self, depth: usize, upcoming: &[Stage], layout: &Layout, grid: &ZonedGrid) {
+        let n = layout.num_qubits() as usize;
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for future in upcoming.iter().take(depth) {
+            for gate in future.gates() {
+                for (q, partner) in [(gate.lo(), gate.hi()), (gate.hi(), gate.lo())] {
+                    if layout.site_of(partner).is_some() {
+                        self.offsets[q.as_usize() + 1] += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.offsets[..n]);
+        self.entries.clear();
+        self.entries
+            .resize(self.offsets[n] as usize, (0.0, Point::new(0.0, 0.0)));
+        for (j, future) in upcoming.iter().take(depth).enumerate() {
+            let weight = DISCOUNT.powi(j as i32 + 1);
+            for gate in future.gates() {
+                for (q, partner) in [(gate.lo(), gate.hi()), (gate.hi(), gate.lo())] {
+                    if let Some(site) = layout.site_of(partner) {
+                        let slot = self.cursors[q.as_usize()] as usize;
+                        self.cursors[q.as_usize()] += 1;
+                        self.entries[slot] = (weight, grid.position(site));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Qubit `q`'s attractors, in stage-major order.
+    fn of(&self, q: Qubit) -> &[(f64, Point)] {
+        let i = q.as_usize();
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// The lookahead [`SitePolicy`]: a candidate site is penalized by the
+/// discounted distances from the site to the current positions of both
+/// qubits' future partners. Uses the planner-provided site position — no
+/// grid borrow, no per-stage grid clone.
+struct LookaheadPolicy<'a> {
+    attractors: &'a AttractorBuffers,
+}
+
+impl SitePolicy for LookaheadPolicy<'_> {
+    fn bias(&self, anchor: Qubit, mobile: Qubit, _site: SiteId, site_pos: Point) -> f64 {
+        [anchor, mobile]
+            .iter()
+            .flat_map(|&q| self.attractors.of(q))
+            .map(|(weight, partner)| weight * site_pos.distance(*partner))
+            .sum()
+    }
+
+    // Weights and distances are nonnegative, so zero is the tightest
+    // input-independent admissible bound: the free-site search may cut off
+    // on ring distance alone.
+    fn min_bias(&self) -> f64 {
+        0.0
+    }
+}
 
 /// A routing strategy that scores candidate interaction sites against the
 /// next `depth` stages of the same CZ block.
@@ -60,31 +146,21 @@ impl RoutingStrategy for LookaheadRouter {
         // Future partners of every qubit, weighted by how soon the pairing
         // happens. Positions are the partners' *current* sites — a cheap,
         // deterministic estimate of where stage j's layout will want them.
-        let grid = state.architecture().grid().clone();
-        let mut attractors: BTreeMap<Qubit, Vec<(f64, Point)>> = BTreeMap::new();
-        for (j, future) in upcoming.iter().take(self.depth).enumerate() {
-            let weight = DISCOUNT.powi(j as i32 + 1);
-            for gate in future.gates() {
-                for (q, partner) in [(gate.lo(), gate.hi()), (gate.hi(), gate.lo())] {
-                    if let Some(site) = state.layout().site_of(partner) {
-                        attractors
-                            .entry(q)
-                            .or_default()
-                            .push((weight, grid.position(site)));
-                    }
-                }
-            }
-        }
-        let policy = BiasFn::new(|anchor, mobile, site| {
-            let pos = grid.position(site);
-            [anchor, mobile]
-                .iter()
-                .filter_map(|q| attractors.get(q))
-                .flatten()
-                .map(|(weight, partner)| weight * pos.distance(*partner))
-                .sum()
-        });
-        state.route_stage_with(stage, &policy)
+        // The flat buffers are taken out of the state so the planner can
+        // borrow the state mutably while the policy borrows them.
+        let mut attractors = state.take_lookahead_scratch();
+        attractors.rebuild(
+            self.depth,
+            upcoming,
+            state.layout(),
+            state.architecture().grid(),
+        );
+        let policy = LookaheadPolicy {
+            attractors: &attractors,
+        };
+        let result = state.route_stage_with(stage, &policy);
+        state.restore_lookahead_scratch(attractors);
+        result
     }
 }
 

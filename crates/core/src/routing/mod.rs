@@ -22,6 +22,14 @@
 //! | [`LookaheadRouter`] | scores sites against the next *k* stages | dwell-ordered chunks |
 //! | [`MultiAodScheduler`] | greedy | duration-balanced per-AOD windows |
 //!
+//! All three planners resolve their site decisions through the shared
+//! [`RoutingState`], whose free-site queries run on a spatial index (see
+//! `site_index`): candidates are walked in non-decreasing anchor distance
+//! and the walk cuts off once `distance + SitePolicy::min_bias()` cannot
+//! beat the best candidate — same site selected, far fewer examined. The
+//! [`SITE_SCANS`] / [`SITES_PRUNED`] metadata counters report the saved
+//! work.
+//!
 //! On top of the per-stage strategies sits the **auto-tuning layer**
 //! ([`auto`], [`cost`]): [`RoutingStrategyKind::Auto`] makes the pipeline
 //! select the winning strategy *per instance*, either by compiling the whole
@@ -45,6 +53,7 @@ pub mod cost;
 mod greedy;
 mod lookahead;
 mod multi_aod;
+mod site_index;
 mod state;
 
 pub use auto::AutoRouter;
@@ -56,7 +65,10 @@ pub use multi_aod::MultiAodScheduler;
 // `move_group_duration`; re-exported here because routing selection is its
 // primary consumer.
 pub use powermove_schedule::movement_wall_clock;
-pub use state::{BiasFn, RoutingState, SiteBias, SitePolicy, StageRouting, ZeroBias};
+pub use site_index::{SITES_PRUNED, SITE_SCANS};
+pub use state::{
+    BiasFn, FreeSiteHarness, RoutingState, SiteBias, SitePolicy, StageRouting, ZeroBias,
+};
 
 use crate::config::{RoutingConfig, RoutingStrategyKind};
 use crate::{group_moves, order_coll_moves, pack_move_groups, CompileError, Stage};

@@ -1,0 +1,411 @@
+//! The spatial free-site index: per-zone, row-bucketed bitsets over the
+//! planned-free sites, plus the best-first walk that feeds the pruned
+//! free-site search in `state.rs`.
+//!
+//! Every undecided pair of a stage asks the same question — "which free
+//! site of this zone minimizes distance-to-anchor plus policy bias?" — and
+//! the arena's free list answers it by scanning all `m` free sites, so a
+//! stage with `k` undecided pairs costs `O(k·m)` score evaluations. The
+//! index instead walks *free* sites in non-decreasing distance from the
+//! anchor (the bitset analogue of `ZonedGrid::ring_sites`) so the caller
+//! can stop as soon as the ring distance plus the policy's admissible lower
+//! bound (`SitePolicy::min_bias`) can no longer beat its best candidate.
+//!
+//! The index mirrors the arena free lists exactly: `OccupancyArena` calls
+//! [`SiteIndex::set_free`] / [`SiteIndex::clear_free`] on the same empty /
+//! non-empty transitions that push and swap-remove free-list entries, so
+//! membership is O(1) to maintain and never rebuilt. Storage is one bit
+//! per site, bucketed by grid row; finding the nearest free column within
+//! a row is a masked word scan (`trailing_zeros` / `leading_zeros`).
+
+use powermove_hardware::{Point, SiteId, Zone, ZonedGrid};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Metadata counter name: free-site candidates examined (scored or
+/// vacancy-checked) by the planner's free-site queries.
+pub const SITE_SCANS: &str = "site_scans";
+
+/// Metadata counter name: free-site candidates the spatial index skipped —
+/// sites a linear scan would have scored but the ring cutoff proved
+/// irrelevant.
+pub const SITES_PRUNED: &str = "sites_pruned";
+
+/// Running totals behind the [`SITE_SCANS`] / [`SITES_PRUNED`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ScanStats {
+    /// Free-site candidates examined across all queries.
+    pub(crate) scans: u64,
+    /// Free-site candidates skipped by the pruning cutoff.
+    pub(crate) pruned: u64,
+}
+
+/// One zone's free-site bitset, bucketed by grid row.
+#[derive(Debug, Clone, Default)]
+struct ZoneBits {
+    cols: u32,
+    rows: u32,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+/// Mask selecting bits `0..=bit` of a word.
+fn mask_up_to(bit: u32) -> u64 {
+    if bit >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (bit + 1)) - 1
+    }
+}
+
+/// Mask selecting bits `bit..=63` of a word.
+fn mask_from(bit: u32) -> u64 {
+    u64::MAX << bit
+}
+
+impl ZoneBits {
+    fn new(cols: u32, rows: u32) -> Self {
+        let words_per_row = (cols as usize).div_ceil(64);
+        ZoneBits {
+            cols,
+            rows,
+            words_per_row,
+            bits: vec![0; words_per_row * rows as usize],
+        }
+    }
+
+    fn word_bit(&self, local: usize) -> (usize, u64) {
+        let (row, col) = (local / self.cols as usize, local % self.cols as usize);
+        (row * self.words_per_row + col / 64, 1u64 << (col % 64))
+    }
+
+    fn set(&mut self, local: usize) {
+        let (word, bit) = self.word_bit(local);
+        self.bits[word] |= bit;
+    }
+
+    fn clear(&mut self, local: usize) {
+        let (word, bit) = self.word_bit(local);
+        self.bits[word] &= !bit;
+    }
+
+    /// The free column nearest to and at most `col` in `row`, if any.
+    fn free_at_or_left(&self, row: u32, col: u32) -> Option<u32> {
+        let base = row as usize * self.words_per_row;
+        let mut w = col as usize / 64;
+        let mut word = self.bits[base + w] & mask_up_to(col % 64);
+        loop {
+            if word != 0 {
+                return Some((w * 64) as u32 + 63 - word.leading_zeros());
+            }
+            if w == 0 {
+                return None;
+            }
+            w -= 1;
+            word = self.bits[base + w];
+        }
+    }
+
+    /// The free column nearest to and at least `col` in `row`, if any.
+    fn free_at_or_right(&self, row: u32, col: u32) -> Option<u32> {
+        let base = row as usize * self.words_per_row;
+        let mut w = col as usize / 64;
+        let mut word = self.bits[base + w] & mask_from(col % 64);
+        loop {
+            if word != 0 {
+                return Some((w * 64) as u32 + word.trailing_zeros());
+            }
+            w += 1;
+            if w >= self.words_per_row {
+                return None;
+            }
+            word = self.bits[base + w];
+        }
+    }
+}
+
+/// The per-zone free-site bitsets the arena maintains alongside its free
+/// lists. Membership transitions are O(1); [`FreeRing`] walks members in
+/// non-decreasing distance from an anchor.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SiteIndex {
+    /// `[compute, storage]`, matching the arena's `zone_index` slots.
+    zones: [ZoneBits; 2],
+    compute_sites: usize,
+}
+
+fn zone_slot(zone: Zone) -> usize {
+    match zone {
+        Zone::Compute => 0,
+        Zone::Storage => 1,
+    }
+}
+
+impl SiteIndex {
+    pub(crate) fn new(grid: &ZonedGrid) -> Self {
+        SiteIndex {
+            zones: [
+                ZoneBits::new(grid.cols(), grid.rows_in(Zone::Compute)),
+                ZoneBits::new(grid.cols(), grid.rows_in(Zone::Storage)),
+            ],
+            compute_sites: grid.num_compute_sites(),
+        }
+    }
+
+    fn local(&self, zone: Zone, site: SiteId) -> usize {
+        match zone {
+            Zone::Compute => site.index(),
+            Zone::Storage => site.index() - self.compute_sites,
+        }
+    }
+
+    /// Marks `site` free; paired with the arena's free-list push.
+    pub(crate) fn set_free(&mut self, zone: Zone, site: SiteId) {
+        let local = self.local(zone, site);
+        self.zones[zone_slot(zone)].set(local);
+    }
+
+    /// Marks `site` occupied; paired with the arena's free-list
+    /// swap-remove.
+    pub(crate) fn clear_free(&mut self, zone: Zone, site: SiteId) {
+        let local = self.local(zone, site);
+        self.zones[zone_slot(zone)].clear(local);
+    }
+}
+
+/// Reusable allocation for the best-first free-site walk: the frontier heap
+/// of per-row arm heads. Lives in the routing state so repeated queries
+/// allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SearchScratch {
+    heap: BinaryHeap<Head>,
+}
+
+/// Which direction an arm extends from its row's seed column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arm {
+    Left,
+    Right,
+}
+
+/// One arm head in the free-site frontier.
+#[derive(Debug, Clone, Copy)]
+struct Head {
+    dist: f64,
+    site: usize,
+    pos: Point,
+    row: u32,
+    col: u32,
+    arm: Arm,
+}
+
+impl PartialEq for Head {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Head {}
+
+impl PartialOrd for Head {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Head {
+    // Reversed: `BinaryHeap` is a max-heap and the walk pops the nearest
+    // head first, ties toward the smaller site index. Distances are never
+    // NaN, so `total_cmp` agrees with the planner's `partial_cmp` order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.site.cmp(&self.site))
+    }
+}
+
+/// A best-first walk over one zone's *free* sites in non-decreasing
+/// distance from an anchor — `ZonedGrid::ring_sites` restricted to the
+/// index's free bits, skipping occupied runs in O(words) instead of
+/// visiting every site.
+pub(crate) struct FreeRing<'a> {
+    bits: &'a ZoneBits,
+    grid: &'a ZonedGrid,
+    zone: Zone,
+    heap: &'a mut BinaryHeap<Head>,
+    anchor: Point,
+}
+
+impl<'a> FreeRing<'a> {
+    pub(crate) fn new(
+        index: &'a SiteIndex,
+        grid: &'a ZonedGrid,
+        zone: Zone,
+        anchor: Point,
+        scratch: &'a mut SearchScratch,
+    ) -> Self {
+        scratch.heap.clear();
+        let bits = &index.zones[zone_slot(zone)];
+        let mut ring = FreeRing {
+            bits,
+            grid,
+            zone,
+            heap: &mut scratch.heap,
+            anchor,
+        };
+        let seed = grid.nearest_col(anchor.x);
+        for row in 0..ring.bits.rows {
+            if let Some(col) = ring.bits.free_at_or_left(row, seed) {
+                ring.push(row, col, Arm::Left);
+            }
+            if seed + 1 < ring.bits.cols {
+                if let Some(col) = ring.bits.free_at_or_right(row, seed + 1) {
+                    ring.push(row, col, Arm::Right);
+                }
+            }
+        }
+        ring
+    }
+
+    fn push(&mut self, row: u32, col: u32, arm: Arm) {
+        let site = self
+            .grid
+            .site(self.zone, col, row)
+            .expect("indexed site is on the grid");
+        let pos = self.grid.position(site);
+        self.heap.push(Head {
+            dist: pos.distance(self.anchor),
+            site: site.index(),
+            pos,
+            row,
+            col,
+            arm,
+        });
+    }
+
+    /// The next free site, with its position and anchor distance. Distances
+    /// are non-decreasing across calls.
+    pub(crate) fn next_free(&mut self) -> Option<(SiteId, Point, f64)> {
+        let head = self.heap.pop()?;
+        match head.arm {
+            Arm::Left => {
+                if head.col > 0 {
+                    if let Some(col) = self.bits.free_at_or_left(head.row, head.col - 1) {
+                        self.push(head.row, col, Arm::Left);
+                    }
+                }
+            }
+            Arm::Right => {
+                if head.col + 1 < self.bits.cols {
+                    if let Some(col) = self.bits.free_at_or_right(head.row, head.col + 1) {
+                        self.push(head.row, col, Arm::Right);
+                    }
+                }
+            }
+        }
+        Some((SiteId::new(head.site), head.pos, head.dist))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powermove_hardware::ZonedGrid;
+
+    /// Deterministic xorshift64* — no external PRNG dependency in unit
+    /// tests.
+    fn next_rand(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Builds an index with a pseudo-random subset of the zone free, and
+    /// returns the free set.
+    fn random_index(grid: &ZonedGrid, zone: Zone, seed: u64) -> (SiteIndex, Vec<SiteId>) {
+        let mut index = SiteIndex::new(grid);
+        let mut rng = seed | 1;
+        let mut free = Vec::new();
+        for site in grid.sites_in(zone) {
+            if next_rand(&mut rng) % 3 != 0 {
+                index.set_free(zone, site);
+                free.push(site);
+            }
+        }
+        (index, free)
+    }
+
+    #[test]
+    fn free_ring_equals_ring_sites_filtered_to_free() {
+        for n in [1, 4, 9, 40, 130] {
+            let grid = ZonedGrid::for_qubits(n);
+            for zone in [Zone::Compute, Zone::Storage] {
+                for seed in 1..6u64 {
+                    let (index, free) = random_index(&grid, zone, seed ^ u64::from(n));
+                    let anchors = [
+                        Point::new(0.0, 0.0),
+                        Point::new(22e-6, -35e-6),
+                        Point::new(1e-3, 1e-3),
+                        grid.position(
+                            grid.site(zone, grid.cols() - 1, 0)
+                                .unwrap_or_else(|| grid.site(Zone::Compute, 0, 0).unwrap()),
+                        ),
+                    ];
+                    for anchor in anchors {
+                        let expected: Vec<(SiteId, f64)> = grid
+                            .ring_sites(zone, anchor)
+                            .filter(|(s, _, _)| free.contains(s))
+                            .map(|(s, _, d)| (s, d))
+                            .collect();
+                        let mut scratch = SearchScratch::default();
+                        let mut ring = FreeRing::new(&index, &grid, zone, anchor, &mut scratch);
+                        let mut got = Vec::new();
+                        while let Some((s, pos, d)) = ring.next_free() {
+                            assert_eq!(pos, grid.position(s));
+                            got.push((s, d));
+                        }
+                        assert_eq!(got, expected, "n={n} zone={zone} seed={seed}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_and_clear_round_trip() {
+        let grid = ZonedGrid::for_qubits(70); // 9 cols: exercises col > word boundary? no; still fine
+        let zone = Zone::Storage;
+        let mut index = SiteIndex::new(&grid);
+        let site = grid.site(zone, 4, 7).unwrap();
+        index.set_free(zone, site);
+        let mut scratch = SearchScratch::default();
+        let anchor = grid.position(site);
+        let found = FreeRing::new(&index, &grid, zone, anchor, &mut scratch).next_free();
+        assert_eq!(found.map(|(s, _, _)| s), Some(site));
+        index.clear_free(zone, site);
+        let found = FreeRing::new(&index, &grid, zone, anchor, &mut scratch).next_free();
+        assert!(found.is_none());
+    }
+
+    #[test]
+    fn wide_rows_cross_word_boundaries() {
+        // 70 columns spans two u64 words per row.
+        let grid = ZonedGrid::with_dims(70, 2, 0).unwrap();
+        let zone = Zone::Compute;
+        let mut index = SiteIndex::new(&grid);
+        for col in [0u32, 62, 63, 64, 65, 69] {
+            index.set_free(zone, grid.site(zone, col, 0).unwrap());
+        }
+        let anchor = grid.position(grid.site(zone, 63, 0).unwrap());
+        let mut scratch = SearchScratch::default();
+        let mut ring = FreeRing::new(&index, &grid, zone, anchor, &mut scratch);
+        let mut cols = Vec::new();
+        while let Some((s, _, _)) = ring.next_free() {
+            cols.push(grid.col_row(s).0);
+        }
+        // Distance-sorted around column 63, ties toward the smaller index.
+        assert_eq!(cols, vec![63, 62, 64, 65, 69, 0]);
+    }
+}

@@ -21,7 +21,23 @@
 //! every stage. Because every planned decision is also applied to the
 //! layout at the end of the stage, the arena and the layout agree at every
 //! stage boundary, so the arena never needs rebuilding.
+//!
+//! # The spatial free-site index
+//!
+//! The planner's hot *query* is `best_free_site`: which free site of a zone
+//! minimizes distance-to-anchor plus policy bias? Alongside the free lists
+//! the arena maintains a row-bucketed free-site bitset
+//! (`routing::site_index`), updated on the same O(1) transitions. Queries
+//! walk free sites in non-decreasing anchor distance and stop once even
+//! `ring_distance + SitePolicy::min_bias` can no longer beat the best
+//! candidate — an A*-style cutoff that returns the *same site* as the
+//! linear scan under the same `(score, site index)` total order, examining
+//! far fewer candidates. Debug builds re-run the linear reference scan on
+//! every pruned query and assert equality; the `site_scans` /
+//! `sites_pruned` counters report the saved work.
 
+use crate::routing::lookahead::AttractorBuffers;
+use crate::routing::site_index::{FreeRing, ScanStats, SearchScratch, SiteIndex};
 use crate::{CompileError, Stage};
 use powermove_circuit::Qubit;
 use powermove_hardware::{Architecture, Point, SiteId, Zone, ZonedGrid};
@@ -63,18 +79,37 @@ impl StageRouting {
 ///
 /// While resolving an undecided pair `(anchor, mobile)` the planner scores
 /// every candidate interaction site by its distance to the anchor plus
-/// `bias(anchor, mobile, site)` — a positive penalty in meters, the same
-/// unit as the distance term. [`ZeroBias`] reproduces the greedy router bit
-/// for bit; the lookahead router biases sites toward future partners.
-/// Closures adapt through [`BiasFn`].
+/// `bias(anchor, mobile, site, site_pos)` — a positive penalty in meters,
+/// the same unit as the distance term. [`ZeroBias`] reproduces the greedy
+/// router bit for bit; the lookahead router biases sites toward future
+/// partners. Closures adapt through [`BiasFn`].
 ///
 /// Bias values must not be NaN: site selection is a deterministic total
 /// order over `(score, site index)` and NaN would make it
 /// iteration-order-dependent.
+///
+/// # The `min_bias` pruning contract
+///
+/// The planner enumerates candidates in non-decreasing anchor distance and
+/// stops as soon as `distance + min_bias()` exceeds the best candidate's
+/// score, skipping [`SitePolicy::bias`] for every remaining site. The
+/// cutoff is only sound if `min_bias()` is *admissible*: a lower bound on
+/// every value `bias` can return for the pair being resolved. A bound that
+/// overestimates (e.g. returning `1.0` while some site's bias is `0.5`) can
+/// prune the true optimum and change routing results; a bound that
+/// underestimates (the default `0.0` works for every nonnegative bias) only
+/// costs pruning efficiency, never correctness.
 pub trait SitePolicy {
-    /// The extra cost added to `site` as the interaction site of
-    /// `(anchor, mobile)`.
-    fn bias(&self, anchor: Qubit, mobile: Qubit, site: SiteId) -> f64;
+    /// The extra cost added to `site` (at physical position `site_pos`) as
+    /// the interaction site of `(anchor, mobile)`.
+    fn bias(&self, anchor: Qubit, mobile: Qubit, site: SiteId, site_pos: Point) -> f64;
+
+    /// An admissible lower bound on every value [`SitePolicy::bias`] can
+    /// return — see the trait docs for the pruning contract. The default,
+    /// `0.0`, is correct for every nonnegative bias.
+    fn min_bias(&self) -> f64 {
+        0.0
+    }
 }
 
 /// The zero-bias [`SitePolicy`]: every candidate site scores by distance
@@ -83,20 +118,27 @@ pub trait SitePolicy {
 pub struct ZeroBias;
 
 impl SitePolicy for ZeroBias {
-    fn bias(&self, _anchor: Qubit, _mobile: Qubit, _site: SiteId) -> f64 {
+    fn bias(&self, _anchor: Qubit, _mobile: Qubit, _site: SiteId, _site_pos: Point) -> f64 {
         0.0
     }
 }
 
 /// Adapts a closure into a [`SitePolicy`].
 ///
+/// The wrapped closure must return nonnegative values: `BiasFn` reports the
+/// default [`SitePolicy::min_bias`] of `0.0`, which is only admissible (see
+/// the trait docs) when no bias is negative. Implement [`SitePolicy`]
+/// directly to pair a custom bias with a tighter bound.
+///
 /// ```
 /// use powermove::{BiasFn, SitePolicy};
 /// use powermove_circuit::Qubit;
-/// use powermove_hardware::SiteId;
+/// use powermove_hardware::{Point, SiteId};
 ///
 /// let policy = BiasFn::new(|_, _, site: SiteId| site.index() as f64);
-/// assert_eq!(policy.bias(Qubit::new(0), Qubit::new(1), SiteId::new(3)), 3.0);
+/// let pos = Point::new(0.0, 0.0);
+/// assert_eq!(policy.bias(Qubit::new(0), Qubit::new(1), SiteId::new(3), pos), 3.0);
+/// assert_eq!(policy.min_bias(), 0.0);
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct BiasFn<F>(F);
@@ -110,7 +152,7 @@ impl<F: Fn(Qubit, Qubit, SiteId) -> f64> BiasFn<F> {
 }
 
 impl<F: Fn(Qubit, Qubit, SiteId) -> f64> SitePolicy for BiasFn<F> {
-    fn bias(&self, anchor: Qubit, mobile: Qubit, site: SiteId) -> f64 {
+    fn bias(&self, anchor: Qubit, mobile: Qubit, site: SiteId, _site_pos: Point) -> f64 {
         (self.0)(anchor, mobile, site)
     }
 }
@@ -167,14 +209,16 @@ impl PlannedSite {
 
 /// The persistent planned-occupancy arena (see the module docs): flat
 /// site-indexed occupant cells, per-zone lists of planned-free sites (with a
-/// site→list-position index for O(1) removal) and a per-qubit
-/// departs-to-storage flag used by the blocking test.
+/// site→list-position index for O(1) removal), the spatial free-site bitset
+/// index mirroring those lists, and a per-qubit departs-to-storage flag
+/// used by the blocking test.
 #[derive(Debug, Clone, Default)]
 struct OccupancyArena {
     planned: Vec<PlannedSite>,
     free: [Vec<SiteId>; 2],
     free_pos: Vec<usize>,
     storage_mover: Vec<bool>,
+    index: SiteIndex,
 }
 
 fn zone_index(zone: Zone) -> usize {
@@ -192,6 +236,7 @@ impl OccupancyArena {
             free: [Vec::new(), Vec::new()],
             free_pos: vec![NOT_FREE; num_sites],
             storage_mover: vec![false; layout.num_qubits() as usize],
+            index: SiteIndex::new(grid),
         };
         for zone in [Zone::Compute, Zone::Storage] {
             for site in grid.sites_in(zone) {
@@ -208,6 +253,7 @@ impl OccupancyArena {
         let list = &mut self.free[zone_index(zone)];
         self.free_pos[site.index()] = list.len();
         list.push(site);
+        self.index.set_free(zone, site);
     }
 
     fn unmark_free(&mut self, zone: Zone, site: SiteId) {
@@ -219,6 +265,7 @@ impl OccupancyArena {
             self.free_pos[moved.index()] = pos;
         }
         self.free_pos[site.index()] = NOT_FREE;
+        self.index.clear_free(zone, site);
     }
 
     /// Plans `q` to occupy `site` after the transition.
@@ -268,6 +315,17 @@ pub struct RoutingState {
     layout: Layout,
     use_storage: bool,
     arena: OccupancyArena,
+    search: SearchState,
+    lookahead_scratch: AttractorBuffers,
+}
+
+/// The per-state free-site search apparatus: the reusable best-first
+/// frontier allocation plus the running `site_scans` / `sites_pruned`
+/// totals.
+#[derive(Debug, Clone, Default)]
+struct SearchState {
+    scratch: SearchScratch,
+    stats: ScanStats,
 }
 
 impl RoutingState {
@@ -280,6 +338,8 @@ impl RoutingState {
             layout: initial_layout,
             use_storage,
             arena,
+            search: SearchState::default(),
+            lookahead_scratch: AttractorBuffers::default(),
         }
     }
 
@@ -299,6 +359,31 @@ impl RoutingState {
     #[must_use]
     pub fn use_storage(&self) -> bool {
         self.use_storage
+    }
+
+    /// The cumulative free-site search counters
+    /// `(site_scans, sites_pruned)` over every stage routed through this
+    /// state: candidates examined by the planner's free-site queries, and
+    /// candidates the spatial index's pruning cutoff skipped. The pass
+    /// pipeline surfaces them as the `site_scans` / `sites_pruned` metadata
+    /// counters.
+    #[must_use]
+    pub fn scan_counters(&self) -> (u64, u64) {
+        (self.search.stats.scans, self.search.stats.pruned)
+    }
+
+    /// Detaches the lookahead attractor scratch so a strategy can fill it
+    /// while holding other borrows of the state; pair with
+    /// [`RoutingState::restore_lookahead_scratch`].
+    pub(crate) fn take_lookahead_scratch(&mut self) -> AttractorBuffers {
+        std::mem::take(&mut self.lookahead_scratch)
+    }
+
+    /// Returns the attractor scratch taken by
+    /// [`RoutingState::take_lookahead_scratch`], keeping its allocations
+    /// for the next stage.
+    pub(crate) fn restore_lookahead_scratch(&mut self, buffers: AttractorBuffers) {
+        self.lookahead_scratch = buffers;
     }
 
     /// Plans the greedy single-qubit movements that prepare the given stage
@@ -328,12 +413,15 @@ impl RoutingState {
         policy: &(impl SitePolicy + ?Sized),
     ) -> Result<StageRouting, CompileError> {
         // Disjoint field borrows: the grid stays borrowed from `arch` for
-        // the whole stage while the arena and layout are mutated.
+        // the whole stage while the arena, layout and search state are
+        // mutated.
         let RoutingState {
             arch,
             layout,
             use_storage,
             arena,
+            search,
+            lookahead_scratch: _,
         } = self;
         let grid = arch.grid();
         let interacting = stage.interacting_qubits();
@@ -361,7 +449,8 @@ impl RoutingState {
             for (q, from) in stale {
                 arena.remove(grid, from, q);
                 let from_pos = grid.position(from);
-                let target = nearest_free_site(arena, layout, grid, from_pos, Zone::Compute)
+                let target = SiteFinder::new(arena, layout, grid, search)
+                    .nearest(Zone::Compute, from_pos)
                     .ok_or(CompileError::NoFreeSite {
                         qubit: q,
                         zone: Zone::Compute,
@@ -400,7 +489,10 @@ impl RoutingState {
                     .filter_map(|row| grid.site(Zone::Storage, col, row))
                     .find(|s| arena.planned_len(*s) == 0 && layout.occupancy(*s) == 0);
                 let target = same_column
-                    .or_else(|| nearest_free_site(arena, layout, grid, from_pos, Zone::Storage))
+                    .or_else(|| {
+                        SiteFinder::new(arena, layout, grid, search)
+                            .nearest(Zone::Storage, from_pos)
+                    })
                     .ok_or(CompileError::NoFreeSite {
                         qubit: q,
                         zone: Zone::Storage,
@@ -489,13 +581,14 @@ impl RoutingState {
             let anchor_from = layout.site_of(anchor).expect("interacting qubit is placed");
             let mobile_from = layout.site_of(mobile).expect("interacting qubit is placed");
             let anchor_pos = grid.position(anchor_from);
-            let target = best_free_site(arena, layout, Zone::Compute, |site| {
-                grid.position(site).distance(anchor_pos) + policy.bias(anchor, mobile, site)
-            })
-            .ok_or(CompileError::NoFreeSite {
-                qubit: anchor,
-                zone: Zone::Compute,
-            })?;
+            let target = SiteFinder::new(arena, layout, grid, search)
+                .best(Zone::Compute, anchor_pos, policy.min_bias(), |site, pos| {
+                    policy.bias(anchor, mobile, site, pos)
+                })
+                .ok_or(CompileError::NoFreeSite {
+                    qubit: anchor,
+                    zone: Zone::Compute,
+                })?;
             arena.insert(grid, target, anchor);
             arena.insert(grid, target, mobile);
             routing
@@ -524,19 +617,30 @@ impl RoutingState {
     /// # Errors
     ///
     /// Same as [`RoutingState::route_stage_with`].
-    #[deprecated(since = "0.1.0", note = "use `route_stage_with(stage, &ZeroBias)`")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `route_stage_with(stage, &ZeroBias)` — a `SitePolicy` also \
+                carries the admissible pruning bound `SitePolicy::min_bias` \
+                the free-site search cuts off against"
+    )]
     pub fn route_stage(&mut self, stage: &Stage) -> Result<StageRouting, CompileError> {
         self.route_stage_with(stage, &ZeroBias)
     }
 
     /// Plans the stage under a closure-based bias.
     ///
+    /// The closure must return nonnegative values: the shim wraps it in
+    /// [`BiasFn`], whose [`SitePolicy::min_bias`] pruning bound is the
+    /// default `0.0` (see the [`SitePolicy`] contract).
+    ///
     /// # Errors
     ///
     /// Same as [`RoutingState::route_stage_with`].
     #[deprecated(
         since = "0.1.0",
-        note = "use `route_stage_with(stage, &BiasFn::new(...))`"
+        note = "use `route_stage_with(stage, &BiasFn::new(...))` for nonnegative \
+                biases, or implement `SitePolicy` directly to pair a custom bias \
+                with its admissible `min_bias` pruning bound"
     )]
     pub fn route_stage_scored(
         &mut self,
@@ -572,56 +676,293 @@ fn is_blocked(
     planned_blocker || current_blocker
 }
 
-/// Finds the free site of `zone` nearest to `from`.
-fn nearest_free_site(
-    arena: &OccupancyArena,
-    layout: &Layout,
-    grid: &ZonedGrid,
-    from: Point,
-    zone: Zone,
-) -> Option<SiteId> {
-    best_free_site(arena, layout, zone, |site| {
-        grid.position(site).distance(from)
-    })
-}
-
-/// Finds the free site of `zone` minimizing `score`.
-///
-/// A site is free when nothing is planned to occupy it after the
-/// transition — exactly the zone's arena free list. Sites that are also
-/// empty *before* the transition are preferred, which avoids transient
-/// three-atom occupancies while a previous occupant is still waiting for
-/// its own collective move. Ties are broken by site index, keeping every
-/// strategy deterministic regardless of free-list order.
-fn best_free_site(
-    arena: &OccupancyArena,
-    layout: &Layout,
-    zone: Zone,
-    score: impl Fn(SiteId) -> f64,
-) -> Option<SiteId> {
-    // (score, site index) is a strict total order over distinct sites, so a
-    // single fold finds the same minimum the previous full-grid scan did,
-    // in whatever order the free list happens to hold.
-    let beats = |s: f64, site: SiteId, best: &Option<(f64, SiteId)>| match best {
+/// Returns `true` if `(s, site)` precedes the current best under the
+/// planner's strict `(score, site index)` total order.
+fn beats(s: f64, site: SiteId, best: &Option<(f64, SiteId)>) -> bool {
+    match best {
         None => true,
         Some((best_score, best_site)) => match s.partial_cmp(best_score) {
             Some(Ordering::Less) => true,
             Some(Ordering::Greater) => false,
             _ => site < *best_site,
         },
-    };
-    let mut best_vacant: Option<(f64, SiteId)> = None;
-    let mut best_any: Option<(f64, SiteId)> = None;
-    for &site in &arena.free[zone_index(zone)] {
-        let s = score(site);
-        if beats(s, site, &best_any) {
-            best_any = Some((s, site));
-        }
-        if layout.occupancy(site) == 0 && beats(s, site, &best_vacant) {
-            best_vacant = Some((s, site));
+    }
+}
+
+/// Free lists at or below this length are scanned linearly: seeding the
+/// best-first frontier costs `O(rows · log rows)`, which only pays for
+/// itself once the list is meaningfully longer than the frontier. Both
+/// paths return the identical site.
+const LINEAR_SCAN_THRESHOLD: usize = 16;
+
+/// One free-site query's borrow bundle: the arena (free lists plus spatial
+/// index), the current layout (for the vacant-site preference), the grid
+/// geometry and the reusable search state.
+struct SiteFinder<'a> {
+    arena: &'a OccupancyArena,
+    layout: &'a Layout,
+    grid: &'a ZonedGrid,
+    search: &'a mut SearchState,
+}
+
+impl<'a> SiteFinder<'a> {
+    fn new(
+        arena: &'a OccupancyArena,
+        layout: &'a Layout,
+        grid: &'a ZonedGrid,
+        search: &'a mut SearchState,
+    ) -> Self {
+        SiteFinder {
+            arena,
+            layout,
+            grid,
+            search,
         }
     }
-    best_vacant.or(best_any).map(|(_, site)| site)
+
+    /// Finds the free site of `zone` nearest to `from`.
+    fn nearest(&mut self, zone: Zone, from: Point) -> Option<SiteId> {
+        self.best(zone, from, 0.0, |_, _| 0.0)
+    }
+
+    /// Finds the free site of `zone` minimizing
+    /// `distance(site, anchor) + bias(site)` under the planner's
+    /// `(score, site index)` total order, preferring sites that are also
+    /// vacant in the current layout.
+    ///
+    /// Dispatches between the linear reference scan (short free lists) and
+    /// the index-pruned best-first search; both return the identical site,
+    /// which debug builds assert on every pruned query.
+    fn best(
+        &mut self,
+        zone: Zone,
+        anchor: Point,
+        min_bias: f64,
+        bias: impl Fn(SiteId, Point) -> f64,
+    ) -> Option<SiteId> {
+        let free_len = self.arena.free[zone_index(zone)].len();
+        if free_len <= LINEAR_SCAN_THRESHOLD {
+            self.search.stats.scans += free_len as u64;
+            return self.best_linear(zone, anchor, &bias);
+        }
+        let chosen = self.best_pruned(zone, anchor, min_bias, &bias, free_len);
+        debug_assert_eq!(
+            chosen,
+            self.best_linear(zone, anchor, &bias),
+            "pruned free-site search diverged from the linear reference scan"
+        );
+        chosen
+    }
+
+    /// The reference path: a single fold over the zone's free list. Kept
+    /// (and re-run under `debug_assertions` after every pruned query) as
+    /// the executable specification the index must match site-for-site.
+    ///
+    /// A site is free when nothing is planned to occupy it after the
+    /// transition — exactly the zone's arena free list. Sites that are also
+    /// empty *before* the transition are preferred, which avoids transient
+    /// three-atom occupancies while a previous occupant is still waiting
+    /// for its own collective move. Ties are broken by site index, keeping
+    /// every strategy deterministic regardless of free-list order.
+    fn best_linear(
+        &self,
+        zone: Zone,
+        anchor: Point,
+        bias: &impl Fn(SiteId, Point) -> f64,
+    ) -> Option<SiteId> {
+        let mut best_vacant: Option<(f64, SiteId)> = None;
+        let mut best_any: Option<(f64, SiteId)> = None;
+        for &site in &self.arena.free[zone_index(zone)] {
+            let pos = self.grid.position(site);
+            let s = pos.distance(anchor) + bias(site, pos);
+            if beats(s, site, &best_any) {
+                best_any = Some((s, site));
+            }
+            if self.layout.occupancy(site) == 0 && beats(s, site, &best_vacant) {
+                best_vacant = Some((s, site));
+            }
+        }
+        best_vacant.or(best_any).map(|(_, site)| site)
+    }
+
+    /// The indexed path: walks free sites in non-decreasing anchor distance
+    /// and stops once `distance + min_bias` can no longer beat the best
+    /// vacant candidate.
+    ///
+    /// Why the cutoff is exact: suppose the globally best vacant site `V`
+    /// had not been examined when the walk stopped at ring distance `d`
+    /// with best examined vacant score `s0`. Then `V` lies at distance
+    /// `≥ d`, so its score is `≥ d + min_bias > s0` (the cutoff is strict),
+    /// contradicting `V` being best. The cutoff never engages before a
+    /// vacant candidate exists, and a vacant candidate always outranks
+    /// every merely plan-free site (`best_vacant.or(best_any)`), so sites
+    /// skipped after that point cannot affect the result either.
+    fn best_pruned(
+        &mut self,
+        zone: Zone,
+        anchor: Point,
+        min_bias: f64,
+        bias: &impl Fn(SiteId, Point) -> f64,
+        free_len: usize,
+    ) -> Option<SiteId> {
+        let mut ring = FreeRing::new(
+            &self.arena.index,
+            self.grid,
+            zone,
+            anchor,
+            &mut self.search.scratch,
+        );
+        let mut best_vacant: Option<(f64, SiteId)> = None;
+        let mut best_any: Option<(f64, SiteId)> = None;
+        let mut examined: u64 = 0;
+        while let Some((site, pos, dist)) = ring.next_free() {
+            if let Some((vacant_score, _)) = best_vacant {
+                // Strict `>`: an equal score could still win on the
+                // site-index tie-break, so equal lower bounds keep going.
+                if dist + min_bias > vacant_score {
+                    break;
+                }
+            }
+            examined += 1;
+            let vacant = self.layout.occupancy(site) == 0;
+            if !vacant && best_vacant.is_some() {
+                continue;
+            }
+            let s = dist + bias(site, pos);
+            if beats(s, site, &best_any) {
+                best_any = Some((s, site));
+            }
+            if vacant && beats(s, site, &best_vacant) {
+                best_vacant = Some((s, site));
+            }
+        }
+        self.search.stats.scans += examined;
+        self.search.stats.pruned += free_len as u64 - examined;
+        best_vacant.or(best_any).map(|(_, site)| site)
+    }
+}
+
+/// A test-and-bench harness over the free-site search: drives controlled
+/// occupancy churn on a private arena/layout pair and exposes both the
+/// index-pruned search and the linear reference scan for site-for-site
+/// comparison. Not part of the supported API — exists so integration tests
+/// and the criterion microbench can reach the search without routing whole
+/// stages.
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub struct FreeSiteHarness {
+    arch: Architecture,
+    layout: Layout,
+    arena: OccupancyArena,
+    search: SearchState,
+}
+
+impl FreeSiteHarness {
+    /// Creates the harness over `arch`'s grid with an empty layout for
+    /// `num_qubits` qubits: every site starts free.
+    #[must_use]
+    pub fn new(arch: Architecture, num_qubits: u32) -> Self {
+        let layout = Layout::empty(num_qubits);
+        let arena = OccupancyArena::new(arch.grid(), &layout);
+        FreeSiteHarness {
+            arch,
+            layout,
+            arena,
+            search: SearchState::default(),
+        }
+    }
+
+    /// The grid under the harness.
+    #[must_use]
+    pub fn grid(&self) -> &ZonedGrid {
+        self.arch.grid()
+    }
+
+    /// Occupies `site` with `q` in both the layout and the arena plan (the
+    /// steady-state agreement the planner maintains at stage boundaries).
+    /// Relocates `q` if it was already placed.
+    pub fn occupy(&mut self, q: Qubit, site: SiteId) {
+        let grid = self.arch.grid();
+        if let Some(old) = self.layout.site_of(q) {
+            self.arena.remove(grid, old, q);
+        }
+        self.layout.place(q, site);
+        self.arena.insert(grid, site, q);
+    }
+
+    /// Removes `q` from both the layout and the arena plan.
+    pub fn vacate(&mut self, q: Qubit) {
+        if let Some(site) = self.layout.site_of(q) {
+            self.arena.remove(self.arch.grid(), site, q);
+            self.layout.remove(q);
+        }
+    }
+
+    /// Plans `q` at `site` without touching the layout — the transient
+    /// mid-stage divergence (site plan-occupied but still vacant) the
+    /// vacant-site preference is about.
+    pub fn plan(&mut self, q: Qubit, site: SiteId) {
+        self.arena.insert(self.arch.grid(), site, q);
+    }
+
+    /// Reverts a [`FreeSiteHarness::plan`] call.
+    pub fn unplan(&mut self, q: Qubit, site: SiteId) {
+        self.arena.remove(self.arch.grid(), site, q);
+    }
+
+    /// Number of qubits planned at `site`.
+    #[must_use]
+    pub fn planned_len(&self, site: SiteId) -> usize {
+        self.arena.planned_len(site)
+    }
+
+    /// Number of free sites in `zone`.
+    #[must_use]
+    pub fn free_len(&self, zone: Zone) -> usize {
+        self.arena.free[zone_index(zone)].len()
+    }
+
+    /// The index-pruned best-first search, forced regardless of free-list
+    /// length (no linear fallback, no debug cross-check — tests compare
+    /// against [`FreeSiteHarness::best_linear`] explicitly).
+    pub fn best(
+        &mut self,
+        zone: Zone,
+        anchor: Point,
+        min_bias: f64,
+        bias: &dyn Fn(SiteId, Point) -> f64,
+    ) -> Option<SiteId> {
+        let free_len = self.arena.free[zone_index(zone)].len();
+        SiteFinder::new(
+            &self.arena,
+            &self.layout,
+            self.arch.grid(),
+            &mut self.search,
+        )
+        .best_pruned(zone, anchor, min_bias, &|s, p| bias(s, p), free_len)
+    }
+
+    /// The linear reference scan over the zone's free list.
+    #[must_use]
+    pub fn best_linear(
+        &self,
+        zone: Zone,
+        anchor: Point,
+        bias: &dyn Fn(SiteId, Point) -> f64,
+    ) -> Option<SiteId> {
+        let mut search = SearchState::default();
+        SiteFinder::new(&self.arena, &self.layout, self.arch.grid(), &mut search).best_linear(
+            zone,
+            anchor,
+            &|s, p| bias(s, p),
+        )
+    }
+
+    /// The harness's cumulative `(site_scans, sites_pruned)` counters.
+    #[must_use]
+    pub fn counters(&self) -> (u64, u64) {
+        (self.search.stats.scans, self.search.stats.pruned)
+    }
 }
 
 #[cfg(test)]
@@ -865,6 +1206,66 @@ mod tests {
             )
             .unwrap();
         assert_ne!(biased_plan.interaction_moves[0].to, default_site);
+    }
+
+    #[test]
+    fn scan_counters_accumulate_and_pruning_engages_on_large_grids() {
+        // 100 qubits: 10x10 compute, 10x20 storage — free lists far above
+        // the linear threshold, so step-3 queries take the pruned path
+        // (every such query also re-runs the linear reference under
+        // debug_assertions and asserts site-for-site equality).
+        let mut router = storage_router(100);
+        let st = stage(&[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9), (10, 11)]);
+        router.route_stage_with(&st, &ZeroBias).unwrap();
+        let (scans, pruned) = router.scan_counters();
+        assert!(scans > 0, "no free-site candidates examined");
+        assert!(pruned > 0, "spatial index never pruned on a 300-site grid");
+        // Counters are monotone across stages. Both qubits of the pair are
+        // still storage-resident, so the pair is undecided and step 3 must
+        // run a free-site query.
+        let st2 = stage(&[(20, 21)]);
+        router.route_stage_with(&st2, &ZeroBias).unwrap();
+        let (scans2, pruned2) = router.scan_counters();
+        assert!(scans2 > scans);
+        assert!(pruned2 >= pruned);
+    }
+
+    #[test]
+    fn harness_pruned_search_matches_linear_and_prefers_vacant_sites() {
+        let arch = Architecture::for_qubits(64);
+        let mut h = FreeSiteHarness::new(arch, 64);
+        let grid = h.grid().clone();
+        let zero = |_: SiteId, _: Point| 0.0;
+
+        // Occupy a handful of sites; plan (without placing) at the site
+        // nearest the anchor so the vacant preference must skip it.
+        for (i, site) in grid.sites_in(Zone::Compute).take(6).enumerate() {
+            h.occupy(q(i as u32), site);
+        }
+        let anchor_site = grid.site(Zone::Compute, 3, 3).unwrap();
+        let anchor = grid.position(anchor_site);
+        h.plan(q(60), anchor_site);
+
+        let pruned = h.best(Zone::Compute, anchor, 0.0, &zero);
+        let linear = h.best_linear(Zone::Compute, anchor, &zero);
+        assert_eq!(pruned, linear);
+        // The planned-but-vacant anchor site is no longer free, and the
+        // result must be vacant in the layout.
+        let chosen = pruned.unwrap();
+        assert_ne!(chosen, anchor_site);
+        let (scans, pruned_count) = h.counters();
+        assert!(scans > 0);
+        assert!(pruned_count > 0, "cutoff never engaged near a vacant site");
+
+        h.unplan(q(60), anchor_site);
+        assert_eq!(
+            h.best(Zone::Compute, anchor, 0.0, &zero),
+            Some(anchor_site),
+            "freed anchor site should win at distance zero"
+        );
+        h.vacate(q(0));
+        assert_eq!(h.free_len(Zone::Compute), grid.num_compute_sites() - 5);
+        assert_eq!(h.planned_len(anchor_site), 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod error;
 mod geometry;
 mod movement;
 mod params;
+mod ring;
 mod zones;
 
 pub use arch::Architecture;
@@ -42,4 +43,5 @@ pub use movement::{
     move_duration, validate_aod_batches, validate_collective_move, AodBatch, AodId, TrapMove,
 };
 pub use params::PhysicalParams;
+pub use ring::RingEnumerator;
 pub use zones::{Zone, ZonedGrid};

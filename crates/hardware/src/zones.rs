@@ -141,6 +141,33 @@ impl ZonedGrid {
         self.storage_rows
     }
 
+    /// Number of rows in the given zone.
+    #[must_use]
+    pub const fn rows_in(&self, zone: Zone) -> u32 {
+        match zone {
+            Zone::Compute => self.compute_rows,
+            Zone::Storage => self.storage_rows,
+        }
+    }
+
+    /// The column whose `x` coordinate is nearest to `x`, clamped to the
+    /// grid.
+    ///
+    /// Within any single row, distance to a fixed point is non-decreasing
+    /// as columns step away from this one in either direction — the seed of
+    /// the expanding-ring enumeration ([`ZonedGrid::ring_sites`]).
+    #[must_use]
+    pub fn nearest_col(&self, x: f64) -> u32 {
+        let c = (x / self.site_spacing).round();
+        if c <= 0.0 {
+            0
+        } else if c >= f64::from(self.cols - 1) {
+            self.cols - 1
+        } else {
+            c as u32
+        }
+    }
+
     /// Site spacing in meters.
     #[must_use]
     pub const fn site_spacing(&self) -> f64 {
@@ -403,6 +430,24 @@ mod tests {
         let c = g.position(g.site(Zone::Compute, 0, 0).unwrap());
         let s = g.position(g.site(Zone::Storage, 0, 0).unwrap());
         assert!((c.y - s.y - 40e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_in_matches_the_per_zone_accessors() {
+        let g = ZonedGrid::for_qubits(20);
+        assert_eq!(g.rows_in(Zone::Compute), g.compute_rows());
+        assert_eq!(g.rows_in(Zone::Storage), g.storage_rows());
+    }
+
+    #[test]
+    fn nearest_col_rounds_and_clamps() {
+        let g = ZonedGrid::for_qubits(16); // 4 cols, 15 µm spacing
+        assert_eq!(g.nearest_col(0.0), 0);
+        assert_eq!(g.nearest_col(15e-6), 1);
+        assert_eq!(g.nearest_col(22e-6), 1); // 22/15 rounds down
+        assert_eq!(g.nearest_col(23e-6), 2); // 23/15 rounds up
+        assert_eq!(g.nearest_col(-40e-6), 0); // clamped left
+        assert_eq!(g.nearest_col(1.0), 3); // clamped right
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * a property test replays random stage chains through the arena-backed
 //!   router and through a verbatim port of the pre-arena `BTreeMap`
 //!   planner, asserting identical move plans and layouts after every stage
-//!   (case count tunable via `POWERMOVE_PROP_CASES`).
+//!   (case count tunable via `POWERMOVE_PROP_CASES`) — both under the zero
+//!   bias and under a nonzero `SitePolicy` bias, so the index-pruned
+//!   free-site search is pinned against the reference scan through whole
+//!   routed stages, not just isolated queries.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -29,7 +32,7 @@ use powermove_suite::benchmarks::{generate, BenchmarkFamily};
 use powermove_suite::circuit::{CzGate, Qubit};
 use powermove_suite::hardware::{Architecture, Point, SiteId, Zone, ZonedGrid};
 use powermove_suite::powermove::{
-    movement_wall_clock, CompilerConfig, GreedyRouter, LookaheadRouter, MultiAodScheduler,
+    movement_wall_clock, BiasFn, CompilerConfig, GreedyRouter, LookaheadRouter, MultiAodScheduler,
     PowerMoveCompiler, RoutingConfig, RoutingState, RoutingStrategy, Stage, ZeroBias,
 };
 use powermove_suite::schedule::{canonical_program_bytes, Layout, SiteMove};
@@ -223,6 +226,7 @@ fn reference_route_stage(
     layout: &mut Layout,
     use_storage: bool,
     stage: &Stage,
+    bias: &dyn Fn(Qubit, Qubit, SiteId) -> f64,
 ) -> Vec<SiteMove> {
     let grid = arch.grid().clone();
     let interacting = stage.interacting_qubits();
@@ -361,7 +365,7 @@ fn reference_route_stage(
         let mobile_from = layout.site_of(mobile).expect("interacting qubit is placed");
         let anchor_pos = grid.position(anchor_from);
         let target = reference_best_free_site(&grid, layout, &planned, Zone::Compute, |site| {
-            grid.position(site).distance(anchor_pos)
+            grid.position(site).distance(anchor_pos) + bias(anchor, mobile, site)
         })
         .expect("default grid always has a free compute site");
         planned.entry(target).or_default().insert(anchor);
@@ -442,7 +446,10 @@ fn arena_router_matches_the_btreemap_reference_on_random_stage_chains() {
             let planned = arena
                 .route_stage_with(st, &ZeroBias)
                 .expect("default grid never runs out of sites");
-            let expected = reference_route_stage(&arch, &mut reference_layout, use_storage, st);
+            let expected =
+                reference_route_stage(&arch, &mut reference_layout, use_storage, st, &|_, _, _| {
+                    0.0
+                });
             assert_eq!(
                 planned.all_moves(),
                 expected,
@@ -452,6 +459,52 @@ fn arena_router_matches_the_btreemap_reference_on_random_stage_chains() {
                 arena.layout(),
                 &reference_layout,
                 "seed {seed} stage {i} (storage={use_storage}): layouts diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn biased_arena_router_matches_the_biased_reference_on_random_stage_chains() {
+    // Same chain replay, but through a nonzero `SitePolicy`: the pruned
+    // search must agree with the reference scan when the score is distance
+    // *plus* a pair- and site-dependent bias, exercising the cutoff with a
+    // bound (`min_bias() == 0.0`) strictly below most biases.
+    let pseudo_bias = |anchor: Qubit, mobile: Qubit, site: SiteId| -> f64 {
+        let mix = (u64::from(anchor.index()) * 31 + u64::from(mobile.index()) * 7)
+            ^ (site.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (mix % 23) as f64 * 0.375
+    };
+    let policy = BiasFn::new(pseudo_bias);
+    for seed in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0xB1A5 ^ seed);
+        let num_qubits = rng.gen_range(4..=10_u32);
+        let stages = random_stages(&mut rng, num_qubits);
+        let use_storage = seed % 2 == 0;
+        let zone = if use_storage {
+            Zone::Storage
+        } else {
+            Zone::Compute
+        };
+        let arch = Architecture::for_qubits(num_qubits);
+        let initial = Layout::row_major(&arch, num_qubits, zone).unwrap();
+        let mut arena = RoutingState::new(arch.clone(), initial.clone(), use_storage);
+        let mut reference_layout = initial;
+        for (i, st) in stages.iter().enumerate() {
+            let planned = arena
+                .route_stage_with(st, &policy)
+                .expect("default grid never runs out of sites");
+            let expected =
+                reference_route_stage(&arch, &mut reference_layout, use_storage, st, &pseudo_bias);
+            assert_eq!(
+                planned.all_moves(),
+                expected,
+                "seed {seed} stage {i} (storage={use_storage}): biased move plans diverged"
+            );
+            assert_eq!(
+                arena.layout(),
+                &reference_layout,
+                "seed {seed} stage {i} (storage={use_storage}): biased layouts diverged"
             );
         }
     }

@@ -15,7 +15,10 @@
 //! * the auto-tuner's movement wall clock matches the best portfolio
 //!   member's (a fortiori never exceeding the worst), and the selected
 //!   strategy is recorded in the metadata;
-//! * compilation is byte-identical at 1, 2 and 4 worker threads.
+//! * compilation is byte-identical at 1, 2 and 4 worker threads;
+//! * the index-pruned free-site search returns the same site as the linear
+//!   reference scan after random occupancy churn, under zero, random
+//!   nonnegative and shifted-admissible biases.
 //!
 //! The case count defaults to 200 and is tunable through the
 //! `POWERMOVE_PROP_CASES` environment variable (CI pins 500 on the stable
@@ -352,5 +355,94 @@ fn auto_matches_the_per_cell_best_on_the_fig7_grid() {
                 instance.name
             );
         }
+    }
+}
+
+#[test]
+fn indexed_free_site_search_matches_the_linear_scan_under_churn() {
+    // Tentpole invariant of the spatial free-site index: after arbitrary
+    // insert/remove churn on the occupancy arena, the index-pruned
+    // best-first search selects the same site as the linear reference scan
+    // — under the zero bias, a random nonnegative bias, and a shifted bias
+    // with a matching positive admissible `min_bias` bound.
+    use powermove_suite::hardware::{Point, SiteId};
+    use powermove_suite::powermove::FreeSiteHarness;
+
+    for seed in 0..cases() {
+        let mut rng = StdRng::seed_from_u64(0x51DE_1DE0 ^ seed);
+        let num_qubits = rng.gen_range(4..=64_u32);
+        let arch = Architecture::for_qubits(num_qubits);
+        let mut harness = FreeSiteHarness::new(arch, num_qubits);
+        let num_sites = harness.grid().num_sites();
+
+        // Random occupancy churn. Register qubits move through
+        // occupy/vacate; plan/unplan entries use virtual ids above the
+        // register so the two books never collide, mirroring the planner's
+        // transient mid-stage state (site plan-occupied but still vacant).
+        let mut planned: Vec<(u32, SiteId)> = Vec::new();
+        let mut next_virtual = num_qubits;
+        for _ in 0..rng.gen_range(20..=120_usize) {
+            match rng.gen_range(0..4_u32) {
+                0 => {
+                    let site = SiteId::new(rng.gen_range(0..num_sites));
+                    if harness.planned_len(site) < 2 {
+                        harness.occupy(Qubit::new(rng.gen_range(0..num_qubits)), site);
+                    }
+                }
+                1 => harness.vacate(Qubit::new(rng.gen_range(0..num_qubits))),
+                2 => {
+                    let site = SiteId::new(rng.gen_range(0..num_sites));
+                    if harness.planned_len(site) < 2 {
+                        harness.plan(Qubit::new(next_virtual), site);
+                        planned.push((next_virtual, site));
+                        next_virtual += 1;
+                    }
+                }
+                _ => {
+                    if !planned.is_empty() {
+                        let at = rng.gen_range(0..planned.len());
+                        let (vq, site) = planned.swap_remove(at);
+                        harness.unplan(Qubit::new(vq), site);
+                    }
+                }
+            }
+        }
+
+        // A deterministic nonnegative per-site bias and an admissible shift.
+        let mult = rng.gen_range(1..=u64::MAX / 2) | 1;
+        let shift = f64::from(rng.gen_range(0..4_u32)) * 0.25;
+        let biased = move |site: SiteId, _pos: Point| -> f64 {
+            ((site.index() as u64).wrapping_mul(mult) % 97) as f64 * 1e-3
+        };
+        let shifted = move |site: SiteId, pos: Point| -> f64 { shift + biased(site, pos) };
+
+        for _ in 0..4 {
+            let anchor = if rng.gen_bool(0.5) {
+                let site = SiteId::new(rng.gen_range(0..num_sites));
+                harness.grid().position(site)
+            } else {
+                Point::new(rng.gen_range(-5.0..40.0_f64), rng.gen_range(-5.0..40.0_f64))
+            };
+            for zone in [Zone::Compute, Zone::Storage] {
+                let zero = |_: SiteId, _: Point| 0.0;
+                assert_eq!(
+                    harness.best(zone, anchor, 0.0, &zero),
+                    harness.best_linear(zone, anchor, &zero),
+                    "zero bias diverged: seed {seed} zone {zone:?} anchor {anchor:?}"
+                );
+                assert_eq!(
+                    harness.best(zone, anchor, 0.0, &biased),
+                    harness.best_linear(zone, anchor, &biased),
+                    "nonnegative bias diverged: seed {seed} zone {zone:?} anchor {anchor:?}"
+                );
+                assert_eq!(
+                    harness.best(zone, anchor, shift, &shifted),
+                    harness.best_linear(zone, anchor, &shifted),
+                    "shifted bias diverged: seed {seed} zone {zone:?} anchor {anchor:?}"
+                );
+            }
+        }
+        let (scans, _) = harness.counters();
+        assert!(scans > 0, "searches should examine at least one site");
     }
 }
