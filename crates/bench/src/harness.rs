@@ -30,7 +30,7 @@ use powermove::{CompilerBackend, CompilerConfig, PowerMoveCompiler, RoutingConfi
 use powermove_benchmarks::{generate, table2_suite, BenchmarkFamily, BenchmarkInstance};
 use powermove_exec::ThreadPool;
 use powermove_fidelity::{evaluate_program, FidelityBreakdown};
-use powermove_hardware::Architecture;
+use powermove_hardware::{Architecture, PhysicalParams, ZonedGrid};
 use powermove_schedule::PassTiming;
 use serde::{Deserialize, Serialize};
 use std::io::Write as _;
@@ -355,13 +355,31 @@ pub fn run_instance_sampled(
     repeats: usize,
 ) -> RunResult {
     let arch = Architecture::for_qubits(instance.num_qubits).with_num_aods(num_aods);
+    run_on_architecture(instance, &arch, entry, repeats)
+}
+
+/// Like [`run_instance_sampled`], but compiles against an explicit
+/// [`Architecture`] instead of deriving the paper's default machine from the
+/// qubit count — the entry point for heterogeneous-architecture cells
+/// ([`ShardCell::architecture`], the schedule-lint corpus campaign).
+///
+/// # Panics
+///
+/// Panics if compilation or validation fails (see [`run_instance`]).
+#[must_use]
+pub fn run_on_architecture(
+    instance: &BenchmarkInstance,
+    arch: &Architecture,
+    entry: &RegisteredBackend,
+    repeats: usize,
+) -> RunResult {
     let mut samples = Vec::with_capacity(repeats.max(1));
     let mut first_program = None;
     for _ in 0..repeats.max(1) {
         let start = std::time::Instant::now();
         let program = entry
             .backend()
-            .compile_circuit(&instance.circuit, &arch)
+            .compile_circuit(&instance.circuit, arch)
             .unwrap_or_else(|e| {
                 panic!(
                     "{} compilation failed on {}: {e}",
@@ -547,6 +565,120 @@ pub fn service_smoke_cells() -> [(BenchmarkFamily, u32); 5] {
     ]
 }
 
+/// The heterogeneous-architecture grid of the `lint/corpus` shard: three
+/// stress geometries ([`ArchVariant::Wide`], [`ArchVariant::DeepStorage`],
+/// [`ArchVariant::SlowTransfer`]) × three benchmark families at 2–4 AOD
+/// arrays. The single source of truth shared by the shard registry, the
+/// `schedule-lint` campaign and the shard-cover workspace test. Cell names
+/// carry both an `@aods<k>` and an `@arch:<variant>` suffix so every cell
+/// keys uniquely in the baseline.
+#[must_use]
+pub fn lint_corpus_cells(seed: u64) -> Vec<ShardCell> {
+    let cases: [(BenchmarkFamily, u32, usize); 3] = [
+        (BenchmarkFamily::QaoaRegular3, 16, 2),
+        (BenchmarkFamily::Qft, 12, 3),
+        (BenchmarkFamily::Bv, 16, 4),
+    ];
+    let variants = [
+        ArchVariant::Wide,
+        ArchVariant::DeepStorage,
+        ArchVariant::SlowTransfer,
+    ];
+    variants
+        .into_iter()
+        .flat_map(|variant| {
+            cases.into_iter().map(move |(family, n, aods)| {
+                let mut instance = generate(family, n, seed);
+                instance.name = format!("{}@aods{aods}@arch:{}", instance.name, variant.name());
+                ShardCell::new(instance, aods).with_arch(variant)
+            })
+        })
+        .collect()
+}
+
+/// A named hardware-architecture variant for heterogeneous-architecture
+/// cells: the paper's default machine plus three stress geometries the
+/// `lint/corpus` shard and the schedule-lint campaign sweep so invariants
+/// are exercised off the default `ceil(sqrt(n))` square.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArchVariant {
+    /// The paper's default machine ([`Architecture::for_qubits`]).
+    Standard,
+    /// Twice the columns, square compute zone, shallow storage — wide rows
+    /// stress lateral packing and the free-site index's column sweep.
+    Wide,
+    /// A deep storage zone (4× rows) behind a doubled zone gap — long
+    /// storage↔compute hauls stress retrieval ordering and move batching.
+    DeepStorage,
+    /// Default geometry with 2× transfer duration and halved maximum
+    /// acceleration — slow physics shifts the movement/transfer trade-off
+    /// the auto-tuner and the multi-AOD scheduler optimize over.
+    SlowTransfer,
+}
+
+impl ArchVariant {
+    /// Every variant, in canonical sweep order.
+    pub const ALL: [ArchVariant; 4] = [
+        ArchVariant::Standard,
+        ArchVariant::Wide,
+        ArchVariant::DeepStorage,
+        ArchVariant::SlowTransfer,
+    ];
+
+    /// The stable name used in cell labels (`@arch:<name>`) and reproducer
+    /// config files.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchVariant::Standard => "standard",
+            ArchVariant::Wide => "wide",
+            ArchVariant::DeepStorage => "deep-storage",
+            ArchVariant::SlowTransfer => "slow-transfer",
+        }
+    }
+
+    /// Parses a variant from its [`ArchVariant::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ArchVariant> {
+        ArchVariant::ALL.into_iter().find(|v| v.name() == name)
+    }
+
+    /// Builds the variant's architecture for an `n`-qubit program with one
+    /// AOD array (compose with [`Architecture::with_num_aods`]). Every
+    /// variant keeps both zones large enough for `n` qubits, so
+    /// [`Architecture::check_capacity`] holds by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits` is zero (same contract as
+    /// [`Architecture::for_qubits`]).
+    #[must_use]
+    pub fn architecture_for(self, num_qubits: u32) -> Architecture {
+        let base = Architecture::for_qubits(num_qubits);
+        let side = f64::from(num_qubits).sqrt().ceil() as u32;
+        match self {
+            ArchVariant::Standard => base,
+            ArchVariant::Wide => base.with_grid(
+                ZonedGrid::with_dims(2 * side, side, side)
+                    .expect("wide dims are non-zero for any qubit count"),
+            ),
+            ArchVariant::DeepStorage => base.with_grid(
+                ZonedGrid::with_dims(side, side, 4 * side)
+                    .expect("deep-storage dims are non-zero for any qubit count")
+                    .with_zone_gap(60e-6),
+            ),
+            ArchVariant::SlowTransfer => {
+                let defaults = PhysicalParams::default();
+                base.with_params(PhysicalParams {
+                    transfer_duration: 2.0 * defaults.transfer_duration,
+                    max_acceleration: 0.5 * defaults.max_acceleration,
+                    ..defaults
+                })
+            }
+        }
+    }
+}
+
 /// One cell row of a shard: a benchmark instance plus the AOD-array count it
 /// is compiled for.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -556,6 +688,38 @@ pub struct ShardCell {
     pub instance: BenchmarkInstance,
     /// Number of AOD arrays the cell is compiled for.
     pub num_aods: usize,
+    /// Hardware variant the cell compiles against. Non-standard cells carry
+    /// an `@arch:<name>` suffix in the instance name so they key uniquely in
+    /// the baseline.
+    pub arch: ArchVariant,
+}
+
+impl ShardCell {
+    /// A cell on the paper's default architecture.
+    #[must_use]
+    pub fn new(instance: BenchmarkInstance, num_aods: usize) -> Self {
+        ShardCell {
+            instance,
+            num_aods,
+            arch: ArchVariant::Standard,
+        }
+    }
+
+    /// Replaces the cell's hardware variant.
+    #[must_use]
+    pub fn with_arch(mut self, arch: ArchVariant) -> Self {
+        self.arch = arch;
+        self
+    }
+
+    /// The concrete architecture the cell compiles against: the variant's
+    /// geometry/physics at the cell's AOD count.
+    #[must_use]
+    pub fn architecture(&self) -> Architecture {
+        self.arch
+            .architecture_for(self.instance.num_qubits)
+            .with_num_aods(self.num_aods)
+    }
 }
 
 /// A named slice of the benchmark matrix: a set of instance × AOD cells plus
@@ -666,7 +830,11 @@ impl ShardRegistry {
     ///   ([`POWERMOVE_MULTI_AOD`]) and the portfolio auto-tuner
     ///   ([`POWERMOVE_AUTO`]), so the gate regression-guards both the
     ///   scheduler's movement-wall-clock win and the auto-tuner matching the
-    ///   per-cell best portfolio member.
+    ///   per-cell best portfolio member;
+    /// * `lint/corpus` — the heterogeneous-architecture grid of
+    ///   [`lint_corpus_cells`] (`@aods<k>@arch:<variant>`-suffixed names),
+    ///   same backend list as `fig7/multi-aod`, so the gate pins schedule
+    ///   invariants and scores off the paper's default machine geometry.
     ///
     /// Together the shards cover every gated cell exactly once
     /// (asserted by the workspace test suite).
@@ -704,10 +872,7 @@ impl ShardRegistry {
         // never changes the union of gated cells.
         let mut table2_backends = standard_backends.clone();
         table2_backends.push(POWERMOVE_AUTO.to_string());
-        let single_aod = |instance: BenchmarkInstance| ShardCell {
-            instance,
-            num_aods: 1,
-        };
+        let single_aod = |instance: BenchmarkInstance| ShardCell::new(instance, 1);
 
         let table2 = table2_suite(seed);
         let table2_names: Vec<&str> = table2.iter().map(|i| i.name.as_str()).collect();
@@ -731,10 +896,7 @@ impl ShardRegistry {
                 (2..=4).map(move |aods| {
                     let mut instance = generate(family, n, seed);
                     instance.name = format!("{}@aods{aods}", instance.name);
-                    ShardCell {
-                        instance,
-                        num_aods: aods,
-                    }
+                    ShardCell::new(instance, aods)
                 })
             })
             .collect();
@@ -743,6 +905,7 @@ impl ShardRegistry {
             POWERMOVE_MULTI_AOD.to_string(),
             POWERMOVE_AUTO.to_string(),
         ];
+        let lint_backends = fig7_backends.clone();
 
         ShardRegistry {
             shards: vec![
@@ -758,6 +921,7 @@ impl ShardRegistry {
                 ),
                 SuiteShard::new("fig6/sweep", standard_backends, fig6_cells),
                 SuiteShard::new("fig7/multi-aod", fig7_backends, fig7_cells),
+                SuiteShard::new("lint/corpus", lint_backends, lint_corpus_cells(seed)),
             ],
         }
     }
@@ -920,7 +1084,7 @@ where
         .map(|(index, (cell, entry))| (index, cell, entry))
         .collect();
     ThreadPool::from_env().par_map(jobs, |(index, cell, entry)| {
-        let result = run_instance_sampled(&cell.instance, cell.num_aods, entry, repeats);
+        let result = run_on_architecture(&cell.instance, &cell.architecture(), entry, repeats);
         observer(index, &result);
         result
     })

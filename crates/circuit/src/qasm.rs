@@ -10,6 +10,14 @@ use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 
+/// Largest register size [`from_qasm`] accepts.
+///
+/// The importer is fed untrusted files by the schedule-lint corpus runner; a
+/// declared width like `qreg q[4294967295];` must fail with a structured
+/// error instead of attempting a multi-gigabyte allocation. The cap is far
+/// above any zoned-architecture instance this workspace compiles.
+pub const MAX_QASM_QUBITS: u32 = 65_536;
+
 /// Errors produced while parsing OpenQASM text.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QasmError {
@@ -29,6 +37,18 @@ pub enum QasmError {
         /// The gate name.
         gate: String,
     },
+    /// The declared register exceeds [`MAX_QASM_QUBITS`].
+    RegisterTooLarge {
+        /// 1-based line number.
+        line: usize,
+        /// The declared register width.
+        size: u64,
+    },
+    /// A second `qreg` was declared; only a single register is supported.
+    DuplicateRegister {
+        /// 1-based line number of the second declaration.
+        line: usize,
+    },
     /// A qubit reference was invalid for the declared register.
     Circuit(CircuitError),
 }
@@ -42,6 +62,19 @@ impl fmt::Display for QasmError {
             }
             QasmError::UnsupportedGate { line, gate } => {
                 write!(f, "unsupported gate `{gate}` at line {line}")
+            }
+            QasmError::RegisterTooLarge { line, size } => {
+                write!(
+                    f,
+                    "register of {size} qubits at line {line} exceeds the supported \
+                     maximum of {MAX_QASM_QUBITS}"
+                )
+            }
+            QasmError::DuplicateRegister { line } => {
+                write!(
+                    f,
+                    "second qreg declaration at line {line}; only one register is supported"
+                )
             }
             QasmError::Circuit(e) => write!(f, "{e}"),
         }
@@ -106,6 +139,12 @@ pub fn to_qasm(circuit: &Circuit) -> String {
 /// Only a single `qreg` and the neutral-atom gate set are supported; `creg`,
 /// `measure` and `barrier` statements are ignored.
 ///
+/// The parser is hardened against untrusted input (the schedule-lint corpus
+/// runner feeds it arbitrary files): truncated or duplicated headers,
+/// registers beyond [`MAX_QASM_QUBITS`], out-of-range qubit indices, unknown
+/// gates, wrong gate arities and non-finite angles all return a structured
+/// [`QasmError`] — never a panic or an unbounded allocation.
+///
 /// # Errors
 ///
 /// Returns a [`QasmError`] describing the first unparsable or unsupported
@@ -126,11 +165,17 @@ pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
         }
         let stmt = stmt.trim_end_matches(';').trim();
         if let Some(rest) = stmt.strip_prefix("qreg") {
-            let n = parse_register_size(rest).ok_or(QasmError::Malformed {
+            if circuit.is_some() {
+                return Err(QasmError::DuplicateRegister { line });
+            }
+            let size = parse_register_size(rest).ok_or(QasmError::Malformed {
                 line,
                 text: raw.to_string(),
             })?;
-            circuit = Some(Circuit::try_new(n).map_err(QasmError::from)?);
+            if size > u64::from(MAX_QASM_QUBITS) {
+                return Err(QasmError::RegisterTooLarge { line, size });
+            }
+            circuit = Some(Circuit::try_new(size as u32).map_err(QasmError::from)?);
             continue;
         }
         let circuit_ref = circuit.as_mut().ok_or(QasmError::MissingHeader)?;
@@ -139,7 +184,7 @@ pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
     circuit.ok_or(QasmError::MissingHeader)
 }
 
-fn parse_register_size(rest: &str) -> Option<u32> {
+fn parse_register_size(rest: &str) -> Option<u64> {
     let open = rest.find('[')?;
     let close = rest.find(']')?;
     rest[open + 1..close].trim().parse().ok()
@@ -155,6 +200,11 @@ fn parse_qubit_refs(args: &str) -> Option<Vec<u32>> {
         .collect()
 }
 
+/// The supported gate names; used to tell an *unknown* gate (→
+/// [`QasmError::UnsupportedGate`]) apart from a known gate applied with the
+/// wrong arity or parameter list (→ [`QasmError::Malformed`]).
+const KNOWN_GATES: [&str; 11] = ["h", "x", "y", "z", "s", "t", "rx", "ry", "rz", "cz", "cx"];
+
 fn parse_gate(circuit: &mut Circuit, stmt: &str, line: usize, raw: &str) -> Result<(), QasmError> {
     let malformed = || QasmError::Malformed {
         line,
@@ -169,6 +219,11 @@ fn parse_gate(circuit: &mut Circuit, stmt: &str, line: usize, raw: &str) -> Resu
                 .trim()
                 .parse()
                 .map_err(|_| malformed())?;
+            // `f64::parse` accepts "inf" and "NaN"; neither is a rotation
+            // angle any backend can schedule.
+            if !angle.is_finite() {
+                return Err(malformed());
+            }
             (name.trim(), Some(angle))
         }
         None => (head.trim(), None),
@@ -187,6 +242,7 @@ fn parse_gate(circuit: &mut Circuit, stmt: &str, line: usize, raw: &str) -> Resu
         ("rz", Some(a), 1) => circuit.rz(q(0), a)?,
         ("cz", None, 2) => circuit.cz(q(0), q(1))?,
         ("cx", None, 2) => circuit.cnot(q(0), q(1))?,
+        _ if KNOWN_GATES.contains(&name) => return Err(malformed()),
         _ => {
             return Err(QasmError::UnsupportedGate {
                 line,

@@ -13,6 +13,10 @@ use powermove_schedule::{CollMove, Instruction, SiteMove};
 /// source does. Qubits therefore spend the longest possible fraction of the
 /// layout transition protected from decoherence. The sort is stable, so
 /// groups with equal score keep their creation order.
+///
+/// Empty groups are dropped: a group with no moves would otherwise claim an
+/// AOD slot downstream and stretch a parallel window by the pick-up/drop-off
+/// transfer time without moving anything.
 #[must_use]
 pub fn order_coll_moves(groups: Vec<Vec<SiteMove>>, arch: &Architecture) -> Vec<Vec<SiteMove>> {
     let grid = arch.grid();
@@ -28,6 +32,7 @@ pub fn order_coll_moves(groups: Vec<Vec<SiteMove>>, arch: &Architecture) -> Vec<
         n_in - n_out
     };
     let mut ordered = groups;
+    ordered.retain(|g| !g.is_empty());
     ordered.sort_by_key(|g| std::cmp::Reverse(score(g)));
     ordered
 }
@@ -37,9 +42,16 @@ pub fn order_coll_moves(groups: Vec<Vec<SiteMove>>, arch: &Architecture) -> Vec<
 /// `num_aods`, each becoming one [`Instruction::MoveGroup`] whose duration is
 /// the pick-up/drop-off transfer time plus the longest translation among its
 /// members.
+///
+/// Degenerate inputs are handled without producing degenerate windows: empty
+/// groups are dropped before chunking (a memberless [`CollMove`] would still
+/// cost a full transfer window), and a `num_aods` exceeding the group count
+/// simply yields one window narrower than the machine — never windows padded
+/// with empty per-AOD batches.
 #[must_use]
 pub fn pack_move_groups(ordered: Vec<Vec<SiteMove>>, num_aods: usize) -> Vec<Instruction> {
     let width = num_aods.max(1);
+    let ordered: Vec<Vec<SiteMove>> = ordered.into_iter().filter(|g| !g.is_empty()).collect();
     ordered
         .chunks(width)
         .map(|chunk| {
@@ -84,12 +96,27 @@ pub fn pack_move_groups(ordered: Vec<Vec<SiteMove>>, num_aods: usize) -> Vec<Ins
 ///
 /// With a single AOD there is no window to balance, so the result always
 /// equals [`pack_move_groups`] on the greedy order.
+///
+/// Degenerate inputs are normalized first: empty groups in either class are
+/// dropped (they would otherwise occupy AOD slots as zero-move windows and
+/// skew the duration comparison between the two packings), an empty
+/// interaction class degrades to packing the storage class alone (and vice
+/// versa), and a `num_aods` larger than the total group count produces a
+/// single window — the move-in-first guarantee holds through all of these.
 #[must_use]
 pub fn pack_move_groups_balanced(
     storage_groups: Vec<Vec<SiteMove>>,
     interaction_groups: Vec<Vec<SiteMove>>,
     arch: &Architecture,
 ) -> Vec<Instruction> {
+    let storage_groups: Vec<Vec<SiteMove>> = storage_groups
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .collect();
+    let interaction_groups: Vec<Vec<SiteMove>> = interaction_groups
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .collect();
     let num_aods = arch.num_aods().max(1);
     let chunked = {
         let mut ordered = order_coll_moves(storage_groups.clone(), arch);
@@ -243,6 +270,109 @@ mod tests {
         assert!(pack_move_groups(vec![], 2).is_empty());
         assert!(order_coll_moves(vec![], &arch()).is_empty());
         assert!(pack_move_groups_balanced(vec![], vec![], &arch()).is_empty());
+    }
+
+    #[test]
+    fn empty_groups_are_dropped_before_packing() {
+        let a = arch();
+        // An interleaved empty group must not consume an AOD slot: the two
+        // real groups share one window at width 2 and no window carries a
+        // memberless CollMove.
+        let groups = vec![
+            vec![],
+            vec![storage_move(&a, 0)],
+            vec![],
+            vec![storage_move(&a, 1)],
+            vec![],
+        ];
+        assert_eq!(order_coll_moves(groups.clone(), &a).len(), 2);
+        let packed = pack_move_groups(groups, 2);
+        assert_eq!(packed.len(), 1);
+        if let Instruction::MoveGroup { coll_moves } = &packed[0] {
+            assert_eq!(coll_moves.len(), 2);
+            assert!(coll_moves.iter().all(|cm| !cm.is_empty()));
+            let aods: Vec<usize> = coll_moves.iter().map(|c| c.aod.index()).collect();
+            assert_eq!(aods, vec![0, 1], "AOD ids stay dense after dropping");
+        } else {
+            panic!("expected a move group");
+        }
+    }
+
+    #[test]
+    fn balanced_packing_survives_more_aods_than_groups() {
+        // 4 AOD arrays, 1 storage group, 1 interaction group: one shared
+        // boundary window (legal — its moves apply simultaneously), never
+        // windows padded with empty per-AOD batches.
+        let a = arch().with_num_aods(4);
+        let packed = pack_move_groups_balanced(
+            vec![vec![storage_move(&a, 0)]],
+            vec![vec![retrieval_move(&a, 1)]],
+            &a,
+        );
+        assert_eq!(packed.len(), 1);
+        if let Instruction::MoveGroup { coll_moves } = &packed[0] {
+            assert_eq!(coll_moves.len(), 2);
+            assert!(coll_moves.iter().all(|cm| !cm.is_empty()));
+        } else {
+            panic!("expected a move group");
+        }
+    }
+
+    #[test]
+    fn balanced_packing_with_an_empty_interaction_class_packs_storage_alone() {
+        let a = arch().with_num_aods(2);
+        let storage = vec![
+            vec![storage_move(&a, 0)],
+            vec![storage_move(&a, 1)],
+            vec![storage_move(&a, 2)],
+        ];
+        // Explicitly empty interaction groups behave like no interaction
+        // class at all.
+        let with_empties = pack_move_groups_balanced(storage.clone(), vec![vec![], vec![]], &a);
+        let without = pack_move_groups_balanced(storage, vec![], &a);
+        assert_eq!(with_empties, without);
+        assert_eq!(with_empties.len(), 2);
+        for instr in &with_empties {
+            if let Instruction::MoveGroup { coll_moves } = instr {
+                assert!(coll_moves.iter().all(|cm| !cm.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_groups_preserve_storage_before_interaction_ordering() {
+        // The regression the lint campaign guards: a stray empty group mixed
+        // into either class must not perturb the move-in-first guarantee.
+        let a = arch().with_num_aods(2);
+        let storage = vec![
+            vec![],
+            vec![storage_move(&a, 0)],
+            vec![storage_move(&a, 1)],
+            vec![storage_move(&a, 2)],
+        ];
+        let interaction = vec![
+            vec![retrieval_move(&a, 3)],
+            vec![],
+            vec![retrieval_move(&a, 4)],
+        ];
+        let packed = pack_move_groups_balanced(storage, interaction, &a);
+        assert_eq!(packed.len(), 3);
+        let grid = a.grid();
+        let mut last_storage_window = 0;
+        let mut first_interaction_window = usize::MAX;
+        for (w, instr) in packed.iter().enumerate() {
+            if let Instruction::MoveGroup { coll_moves } = instr {
+                assert!(coll_moves.iter().all(|cm| !cm.is_empty()));
+                for m in coll_moves.iter().flat_map(|cm| cm.moves.iter()) {
+                    if grid.zone_of(m.to) == Zone::Storage {
+                        last_storage_window = last_storage_window.max(w);
+                    } else {
+                        first_interaction_window = first_interaction_window.min(w);
+                    }
+                }
+            }
+        }
+        assert!(last_storage_window <= first_interaction_window);
     }
 
     #[test]

@@ -842,13 +842,17 @@ impl<'a> SiteFinder<'a> {
     }
 }
 
-/// A test-and-bench harness over the free-site search: drives controlled
+/// A verification harness over the free-site search: drives controlled
 /// occupancy churn on a private arena/layout pair and exposes both the
 /// index-pruned search and the linear reference scan for site-for-site
-/// comparison. Not part of the supported API — exists so integration tests
-/// and the criterion microbench can reach the search without routing whole
-/// stages.
-#[doc(hidden)]
+/// comparison.
+///
+/// This is the supported seam behind the schedule linter's
+/// pruned-vs-linear agreement rule, the free-site property tests and the
+/// criterion microbench: all three reach the search through this type
+/// without routing whole stages. The searches themselves stay private —
+/// the harness is the only stable way to drive them out of pipeline
+/// context.
 #[derive(Debug, Clone)]
 pub struct FreeSiteHarness {
     arch: Architecture,
@@ -870,6 +874,20 @@ impl FreeSiteHarness {
             arena,
             search: SearchState::default(),
         }
+    }
+
+    /// Creates the harness pre-seeded from an existing layout: every placed
+    /// qubit occupies its site in both the layout copy and the arena, the
+    /// steady state the planner maintains at stage boundaries. This is how
+    /// the schedule linter replays a compiled program's initial layout into
+    /// the search.
+    #[must_use]
+    pub fn from_layout(arch: Architecture, layout: &Layout) -> Self {
+        let mut harness = FreeSiteHarness::new(arch, layout.num_qubits());
+        for (q, site) in layout.iter() {
+            harness.occupy(q, site);
+        }
+        harness
     }
 
     /// The grid under the harness.

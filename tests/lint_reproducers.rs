@@ -1,0 +1,80 @@
+//! Regression replay of campaign-surfaced reproducers.
+//!
+//! Every `bench/reproducers/<stem>.json` + `<stem>.qasm` pair checked in by
+//! the schedule-lint campaign must replay **clean** here: the config pins a
+//! bug the campaign once surfaced, and the fix that landed with it must keep
+//! holding. If the directory holds no reproducers, the checked-in
+//! `campaign-summary.json` must instead attest a clean campaign of at least
+//! 5000 cases (the ISSUE's bar for "nothing found").
+
+use powermove_bench::replay_reproducer;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+fn reproducer_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("bench/reproducers")
+}
+
+fn reproducer_configs() -> Vec<PathBuf> {
+    let mut configs: Vec<PathBuf> = std::fs::read_dir(reproducer_dir())
+        .expect("bench/reproducers is checked in")
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.extension().is_some_and(|ext| ext == "json")
+                && path
+                    .file_name()
+                    .is_some_and(|name| name != "campaign-summary.json")
+        })
+        .collect();
+    configs.sort();
+    configs
+}
+
+#[test]
+fn checked_in_reproducers_replay_clean() {
+    let configs = reproducer_configs();
+    for config in &configs {
+        let violations =
+            replay_reproducer(config).unwrap_or_else(|e| panic!("{}: {e}", config.display()));
+        assert_eq!(
+            violations,
+            vec![],
+            "{} regressed: the pinned violation fires again",
+            config.display()
+        );
+    }
+    if configs.is_empty() {
+        // No bugs survived the campaign — the clean summary must attest a
+        // sweep of at least 5000 cases.
+        let summary_path = reproducer_dir().join("campaign-summary.json");
+        let text = std::fs::read_to_string(&summary_path)
+            .expect("no reproducers checked in, so campaign-summary.json must be");
+        let summary: Value = serde_json::from_str(&text).expect("summary parses");
+        let cases = summary
+            .get("cases")
+            .and_then(Value::as_i64)
+            .expect("summary has a case count");
+        let clean = summary
+            .get("clean")
+            .and_then(Value::as_bool)
+            .expect("summary has a clean flag");
+        assert!(clean, "checked-in campaign summary reports violations");
+        assert!(
+            cases >= 5000,
+            "clean summary must cover >= 5000 cases, got {cases}"
+        );
+    }
+}
+
+#[test]
+fn every_reproducer_config_has_its_qasm_sibling() {
+    for config in reproducer_configs() {
+        let qasm = config.with_extension("qasm");
+        assert!(
+            qasm.is_file(),
+            "{} lacks its QASM sibling",
+            config.display()
+        );
+    }
+}

@@ -1,8 +1,11 @@
 //! Integration test: every generated benchmark circuit survives an OpenQASM
-//! round trip, and the re-imported circuit compiles to an equivalent program.
+//! round trip, the re-imported circuit compiles to an equivalent program,
+//! and malformed input — the schedule-lint corpus runner feeds the importer
+//! untrusted files — is rejected with a structured [`qasm::QasmError`]
+//! instead of a panic or an unbounded allocation.
 
 use powermove_suite::benchmarks::{generate, BenchmarkFamily};
-use powermove_suite::circuit::qasm;
+use powermove_suite::circuit::qasm::{self, QasmError};
 use powermove_suite::hardware::Architecture;
 use powermove_suite::powermove::{CompilerConfig, PowerMoveCompiler};
 
@@ -42,4 +45,145 @@ fn reimported_circuit_compiles_to_equivalent_schedule() {
         original.rydberg_stage_count(),
         reimported.rydberg_stage_count()
     );
+}
+
+/// Classifies which [`QasmError`] variant an input must be rejected with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Rejection {
+    MissingHeader,
+    Malformed,
+    UnsupportedGate,
+    RegisterTooLarge,
+    DuplicateRegister,
+    Circuit,
+}
+
+fn classify(error: &QasmError) -> Rejection {
+    match error {
+        QasmError::MissingHeader => Rejection::MissingHeader,
+        QasmError::Malformed { .. } => Rejection::Malformed,
+        QasmError::UnsupportedGate { .. } => Rejection::UnsupportedGate,
+        QasmError::RegisterTooLarge { .. } => Rejection::RegisterTooLarge,
+        QasmError::DuplicateRegister { .. } => Rejection::DuplicateRegister,
+        QasmError::Circuit(_) => Rejection::Circuit,
+    }
+}
+
+#[test]
+fn malformed_inputs_are_rejected_with_structured_errors() {
+    use Rejection::*;
+    let header = "OPENQASM 2.0;\nqreg q[4];\n";
+    let with = |gate: &str| format!("{header}{gate}\n");
+    let matrix: Vec<(String, Rejection, &str)> = vec![
+        // Truncated / missing headers.
+        (String::new(), MissingHeader, "empty input"),
+        ("h q[0];".to_string(), MissingHeader, "gate before qreg"),
+        (
+            "OPENQASM 2.0;\nh q[0];\n".to_string(),
+            MissingHeader,
+            "version line but no register",
+        ),
+        (
+            "OPENQASM 2.0;\nqreg q[4\nh q[0];\n".to_string(),
+            Malformed,
+            "truncated qreg bracket",
+        ),
+        (
+            "OPENQASM 2.0;\nqreg q[];\n".to_string(),
+            Malformed,
+            "empty register size",
+        ),
+        (
+            "OPENQASM 2.0;\nqreg q[-3];\n".to_string(),
+            Malformed,
+            "negative register size",
+        ),
+        // Oversized and duplicated registers.
+        (
+            "OPENQASM 2.0;\nqreg q[4294967295];\n".to_string(),
+            RegisterTooLarge,
+            "u32::MAX register must not allocate",
+        ),
+        (
+            "OPENQASM 2.0;\nqreg q[18446744073709551615];\n".to_string(),
+            RegisterTooLarge,
+            "u64::MAX register must not allocate",
+        ),
+        (
+            "OPENQASM 2.0;\nqreg q[99999999999999999999999];\n".to_string(),
+            Malformed,
+            "size beyond u64 does not even parse",
+        ),
+        (
+            "OPENQASM 2.0;\nqreg q[2];\nqreg r[2];\n".to_string(),
+            DuplicateRegister,
+            "second qreg",
+        ),
+        (
+            "OPENQASM 2.0;\nqreg q[0];\n".to_string(),
+            Circuit,
+            "zero-qubit register",
+        ),
+        // Qubit references.
+        (with("h q[9];"), Circuit, "out-of-range qubit index"),
+        (with("h q[4294967296];"), Malformed, "index beyond u32"),
+        (with("h q[x];"), Malformed, "non-numeric index"),
+        (with("h q0;"), Malformed, "missing brackets"),
+        (with("cz q[1], q[1];"), Circuit, "duplicate qubit in cz"),
+        // Unknown gates and wrong arities.
+        (
+            with("ccx q[0], q[1], q[2];"),
+            UnsupportedGate,
+            "unknown gate",
+        ),
+        (with("swap q[0], q[1];"), UnsupportedGate, "unknown 2q gate"),
+        (with("cz q[0];"), Malformed, "cz with one operand"),
+        (with("h q[0], q[1];"), Malformed, "h with two operands"),
+        (with("rz q[0];"), Malformed, "rz without an angle"),
+        (
+            with("h(0.5) q[0];"),
+            Malformed,
+            "angle on an angle-free gate",
+        ),
+        // Angles.
+        (with("rx() q[0];"), Malformed, "empty angle"),
+        (with("rx(abc) q[0];"), Malformed, "non-numeric angle"),
+        (with("rx(inf) q[0];"), Malformed, "infinite angle"),
+        (with("ry(-inf) q[0];"), Malformed, "negative-infinite angle"),
+        (with("rz(NaN) q[0];"), Malformed, "NaN angle"),
+    ];
+    for (input, expected, what) in &matrix {
+        match qasm::from_qasm(input) {
+            Err(e) => assert_eq!(
+                classify(&e),
+                *expected,
+                "{what}: expected {expected:?}, got {e:?}"
+            ),
+            Ok(_) => panic!("{what}: input was accepted: {input:?}"),
+        }
+    }
+}
+
+#[test]
+fn rejection_errors_render_line_numbers() {
+    let text = "OPENQASM 2.0;\nqreg q[2];\nqreg r[2];\n";
+    match qasm::from_qasm(text) {
+        Err(QasmError::DuplicateRegister { line }) => assert_eq!(line, 3),
+        other => panic!("expected duplicate-register error, got {other:?}"),
+    }
+    let text = "OPENQASM 2.0;\nqreg q[999999999];\n";
+    match qasm::from_qasm(text) {
+        Err(e @ QasmError::RegisterTooLarge { line, size }) => {
+            assert_eq!((line, size), (2, 999_999_999));
+            assert!(e.to_string().contains("999999999"));
+        }
+        other => panic!("expected register-too-large error, got {other:?}"),
+    }
+}
+
+#[test]
+fn finite_angles_still_parse_after_hardening() {
+    let text = "OPENQASM 2.0;\nqreg q[2];\nrx(1.5e-3) q[0];\nrz(-0.25) q[1];\n";
+    let c = qasm::from_qasm(text).expect("finite scientific-notation angles parse");
+    assert_eq!(c.num_gates(), 2);
 }

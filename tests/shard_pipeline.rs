@@ -33,10 +33,7 @@ fn temp_path(tag: &str) -> PathBuf {
 
 /// A small two-shard registry that is cheap to run in debug mode.
 fn tiny_shards() -> ShardRegistry {
-    let cell = |family, n| ShardCell {
-        instance: generate(family, n, DEFAULT_SEED),
-        num_aods: 1,
-    };
+    let cell = |family, n| ShardCell::new(generate(family, n, DEFAULT_SEED), 1);
     ShardRegistry::from_shards(vec![
         SuiteShard::new(
             "tiny/a",
@@ -106,6 +103,11 @@ fn standard_shards_are_a_disjoint_exact_cover_of_the_gated_suite() {
             for backend in [POWERMOVE_STORAGE, POWERMOVE_MULTI_AOD, POWERMOVE_AUTO] {
                 expected.insert((backend.to_string(), format!("{base}@aods{aods}")));
             }
+        }
+    }
+    for cell in powermove_bench::lint_corpus_cells(DEFAULT_SEED) {
+        for backend in [POWERMOVE_STORAGE, POWERMOVE_MULTI_AOD, POWERMOVE_AUTO] {
+            expected.insert((backend.to_string(), cell.instance.name.clone()));
         }
     }
     assert_eq!(seen, expected, "shard union drifted from the gated suite");
@@ -235,6 +237,20 @@ fn table2_shards_split_by_the_documented_qubit_threshold() {
         .cells()
         .iter()
         .all(|c| c.instance.name.ends_with(&format!("@aods{}", c.num_aods))));
+    // Heterogeneous-architecture cells additionally carry the @arch suffix,
+    // compile off the default geometry, and still satisfy zone capacity.
+    let lint = shards.get("lint/corpus").unwrap();
+    assert!(!lint.cells().is_empty());
+    for c in lint.cells() {
+        assert_ne!(c.arch, powermove_bench::ArchVariant::Standard);
+        assert!(c
+            .instance
+            .name
+            .ends_with(&format!("@aods{}@arch:{}", c.num_aods, c.arch.name())));
+        c.architecture()
+            .check_capacity(c.instance.num_qubits)
+            .expect("lint/corpus variants keep both zones large enough");
+    }
 }
 
 #[test]
